@@ -1,0 +1,270 @@
+package cgct_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgct"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	paper := cgct.PaperBenchmarks()
+	if len(paper) != 9 {
+		t.Fatalf("got %d paper benchmarks, want 9", len(paper))
+	}
+	bs := cgct.Benchmarks()
+	if len(bs) < 9 {
+		t.Fatalf("got %d benchmarks, want the paper's 9 plus extras", len(bs))
+	}
+	if bs[0].Name != "ocean" || bs[8].Name != "tpc-h" {
+		t.Errorf("order wrong: %v ... %v", bs[0].Name, bs[8].Name)
+	}
+	for i, name := range paper {
+		if bs[i].Name != name {
+			t.Errorf("benchmark %d = %q, want %q", i, bs[i].Name, name)
+		}
+	}
+	cats := map[string]bool{}
+	for _, b := range bs {
+		if b.Category == "" || b.Comment == "" {
+			t.Errorf("%s missing metadata", b.Name)
+		}
+		cats[b.Category] = true
+	}
+	for _, c := range []string{"Scientific", "Multiprogramming", "Web", "OLTP", "Decision Support", "Micro"} {
+		if !cats[c] {
+			t.Errorf("category %q missing", c)
+		}
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := cgct.Run("ocean", cgct.Options{OpsPerProc: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CGCT {
+		t.Error("baseline flagged as CGCT")
+	}
+	if res.Cycles == 0 || res.Requests == 0 || res.Instructions == 0 {
+		t.Errorf("empty result: %+v", res)
+	}
+	if res.Broadcasts != res.Requests {
+		t.Errorf("baseline must broadcast everything: %d of %d", res.Broadcasts, res.Requests)
+	}
+	if res.Directs != 0 || res.Locals != 0 {
+		t.Error("baseline produced direct/local requests")
+	}
+	if f := res.UnnecessaryFraction(); f <= 0 || f > 1 {
+		t.Errorf("unnecessary fraction = %v", f)
+	}
+}
+
+func TestRunCGCT(t *testing.T) {
+	res, err := cgct.Run("tpc-w", cgct.Options{OpsPerProc: 15_000, CGCT: true, RegionBytes: 512, DebugChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CGCT || res.RegionBytes != 512 {
+		t.Error("options not reflected")
+	}
+	if res.Directs == 0 {
+		t.Error("CGCT produced no direct requests")
+	}
+	if res.AvoidedFraction() <= 0 {
+		t.Error("nothing avoided")
+	}
+	if res.RCAHitRatio <= 0 {
+		t.Error("RCA never hit")
+	}
+	if !strings.Contains(res.String(), "CGCT/512B") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := cgct.Run("nope", cgct.Options{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := cgct.MustRun("barnes", cgct.Options{OpsPerProc: 10_000, Seed: 42})
+	b := cgct.MustRun("barnes", cgct.Options{OpsPerProc: 10_000, Seed: 42})
+	if a.Cycles != b.Cycles || a.Requests != b.Requests || a.Unnecessary != b.Unnecessary {
+		t.Error("same options produced different results")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cmp, err := cgct.Compare("specint2000rate", 512, cgct.Options{OpsPerProc: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline.CGCT || !cmp.CGCT.CGCT {
+		t.Error("comparison modes wrong")
+	}
+	if cmp.RuntimeReductionPct <= 0 {
+		t.Errorf("CGCT did not speed up specint: %.2f%%", cmp.RuntimeReductionPct)
+	}
+	if cmp.BroadcastReductionPct <= 0 {
+		t.Errorf("CGCT did not cut broadcasts: %.2f%%", cmp.BroadcastReductionPct)
+	}
+}
+
+func TestDefaultRegionSize(t *testing.T) {
+	res := cgct.MustRun("ocean", cgct.Options{OpsPerProc: 5_000, CGCT: true})
+	if res.RegionBytes != 512 {
+		t.Errorf("default region = %d, want 512", res.RegionBytes)
+	}
+}
+
+func TestHalfSizeRCA(t *testing.T) {
+	res, err := cgct.Run("ocean", cgct.Options{OpsPerProc: 10_000, CGCT: true, RCASets: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Directs == 0 {
+		t.Error("half-size RCA produced no direct requests")
+	}
+}
+
+func TestCategoryTotalsConsistent(t *testing.T) {
+	res := cgct.MustRun("specweb99", cgct.Options{OpsPerProc: 20_000, CGCT: true})
+	sumReq := res.RequestsByCat.Data + res.RequestsByCat.Writebacks +
+		res.RequestsByCat.IFetches + res.RequestsByCat.DCBOps
+	if sumReq != res.Requests {
+		t.Errorf("category totals %d != requests %d", sumReq, res.Requests)
+	}
+	sumRouted := res.Broadcasts + res.Directs + res.Locals
+	if sumRouted != res.Requests {
+		t.Errorf("routed %d != requests %d", sumRouted, res.Requests)
+	}
+	if res.RequestsByCat.DCBOps == 0 {
+		t.Error("specweb produced no DCB operations")
+	}
+}
+
+func TestPerProcessorOption(t *testing.T) {
+	res, err := cgct.Run("tpc-b", cgct.Options{OpsPerProc: 4_000, Processors: 8, CGCT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Error("8-processor run empty")
+	}
+}
+
+func TestScaledBackOption(t *testing.T) {
+	full := cgct.MustRun("specweb99", cgct.Options{OpsPerProc: 15_000, CGCT: true})
+	scaled := cgct.MustRun("specweb99", cgct.Options{OpsPerProc: 15_000, CGCT: true, ScaledBack: true})
+	if scaled.AvoidedFraction() >= full.AvoidedFraction() {
+		t.Errorf("scaled-back avoided %.3f, full %.3f", scaled.AvoidedFraction(), full.AvoidedFraction())
+	}
+	if scaled.AvoidedFraction() <= 0 {
+		t.Error("scaled-back avoided nothing")
+	}
+}
+
+func TestPrefetchRegionFilterOption(t *testing.T) {
+	plain := cgct.MustRun("barnes", cgct.Options{OpsPerProc: 15_000, CGCT: true})
+	filt := cgct.MustRun("barnes", cgct.Options{OpsPerProc: 15_000, CGCT: true, PrefetchRegionFilter: true})
+	if filt.Requests >= plain.Requests {
+		t.Errorf("filter did not trim prefetch requests (%d vs %d)", filt.Requests, plain.Requests)
+	}
+}
+
+func TestRegionPrefetchOption(t *testing.T) {
+	plain := cgct.MustRun("ocean", cgct.Options{OpsPerProc: 15_000, CGCT: true})
+	probed := cgct.MustRun("ocean", cgct.Options{OpsPerProc: 15_000, CGCT: true, RegionPrefetch: true})
+	if probed.RegionProbes == 0 {
+		t.Fatal("no region probes issued")
+	}
+	if plain.RegionProbes != 0 {
+		t.Error("probes issued while disabled")
+	}
+	if probed.Broadcasts >= plain.Broadcasts {
+		t.Errorf("region prefetch did not reduce demand broadcasts (%d vs %d)",
+			probed.Broadcasts, plain.Broadcasts)
+	}
+}
+
+func TestDMAOption(t *testing.T) {
+	res := cgct.MustRun("tpc-h", cgct.Options{OpsPerProc: 10_000, CGCT: true, DMAIntervalCycles: 5_000})
+	if res.DMAWrites == 0 {
+		t.Error("DMA never fired on tpc-h")
+	}
+}
+
+func TestRegionScoutOption(t *testing.T) {
+	scout := cgct.MustRun("specint2000rate", cgct.Options{OpsPerProc: 15_000, RegionScout: true})
+	if scout.NSRTInserts == 0 || scout.NSRTHits == 0 {
+		t.Fatalf("RegionScout inactive: %+v", scout)
+	}
+	if scout.Directs == 0 {
+		t.Error("RegionScout avoided nothing")
+	}
+	cg := cgct.MustRun("specint2000rate", cgct.Options{OpsPerProc: 15_000, CGCT: true})
+	if scout.AvoidedFraction() >= cg.AvoidedFraction() {
+		t.Errorf("RegionScout (%.3f) should be less effective than CGCT (%.3f)",
+			scout.AvoidedFraction(), cg.AvoidedFraction())
+	}
+}
+
+func TestDirectoryOption(t *testing.T) {
+	dir := cgct.MustRun("barnes", cgct.Options{OpsPerProc: 10_000, Directory: true, DebugChecks: true})
+	if !dir.Directory || dir.DirMessages == 0 {
+		t.Fatalf("directory inactive: %+v", dir)
+	}
+	if dir.Broadcasts != 0 {
+		t.Error("directory mode broadcast")
+	}
+	if dir.ThreeHops == 0 {
+		t.Error("no three-hop transfers on barnes")
+	}
+}
+
+func TestSaveAndRunTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.bin"
+	if err := cgct.SaveTrace("ocean", path, cgct.Options{OpsPerProc: 5_000, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cgct.RunTrace(path, cgct.Options{CGCT: true, DebugChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Directs == 0 {
+		t.Errorf("trace replay empty: %+v", res)
+	}
+	// Replays are deterministic.
+	res2, err := cgct.RunTrace(path, cgct.Options{CGCT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != res2.Cycles {
+		t.Error("trace replay not deterministic")
+	}
+	if _, err := cgct.RunTrace(t.TempDir()+"/missing.bin", cgct.Options{}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestSaveTraceErrors(t *testing.T) {
+	if err := cgct.SaveTrace("nope", t.TempDir()+"/x.bin", cgct.Options{OpsPerProc: 10}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := cgct.SaveTrace("ocean", "/nonexistent-dir/x.bin", cgct.Options{OpsPerProc: 10}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestResultStringModes(t *testing.T) {
+	dir := cgct.MustRun("micro-private", cgct.Options{OpsPerProc: 2_000, Directory: true})
+	if !strings.Contains(dir.String(), "directory") {
+		t.Errorf("String() = %q", dir.String())
+	}
+	base := cgct.MustRun("micro-private", cgct.Options{OpsPerProc: 2_000})
+	if !strings.Contains(base.String(), "baseline") {
+		t.Errorf("String() = %q", base.String())
+	}
+}

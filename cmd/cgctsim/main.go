@@ -1,0 +1,97 @@
+// Command cgctsim runs a single simulation and prints its statistics.
+//
+// Usage:
+//
+//	cgctsim -benchmark tpc-w -cgct -region 512
+//	cgctsim -benchmark barnes -ops 1000000 -seed 7
+//	cgctsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgct"
+)
+
+func main() {
+	var (
+		bench   = flag.String("benchmark", "tpc-w", "workload to run (see -list)")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		ops     = flag.Int("ops", 400_000, "trace length per processor")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		useCGCT = flag.Bool("cgct", false, "enable Coarse-Grain Coherence Tracking")
+		region  = flag.Uint64("region", 512, "region size in bytes (256/512/1024)")
+		rcaSets = flag.Uint64("rcasets", 0, "override RCA set count (default 8192)")
+		procs   = flag.Int("procs", 0, "processor count (default 4)")
+		checks  = flag.Bool("checks", false, "enable coherence invariant checks (slow)")
+		scaled  = flag.Bool("scaled", false, "use the scaled-back 3-state protocol (§3.4)")
+		pfilter = flag.Bool("pffilter", false, "filter prefetches by region state (§6)")
+		dma     = flag.Uint64("dma", 0, "DMA write interval in cycles (0 = no I/O traffic)")
+		regpf   = flag.Bool("regionpf", false, "prefetch the next region's global state (§6)")
+		trace   = flag.String("trace", "", "replay a trace file saved by cgcttrace -save instead of a benchmark")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range cgct.Benchmarks() {
+			fmt.Printf("%-16s %-18s %s\n", b.Name, b.Category, b.Comment)
+		}
+		return
+	}
+
+	opts := cgct.Options{
+		Processors:           *procs,
+		OpsPerProc:           *ops,
+		Seed:                 *seed,
+		CGCT:                 *useCGCT,
+		RegionBytes:          *region,
+		RCASets:              *rcaSets,
+		DebugChecks:          *checks,
+		ScaledBack:           *scaled,
+		PrefetchRegionFilter: *pfilter,
+		RegionPrefetch:       *regpf,
+		DMAIntervalCycles:    *dma,
+	}
+	var res *cgct.Result
+	var err error
+	if *trace != "" {
+		res, err = cgct.RunTrace(*trace, opts)
+	} else {
+		res, err = cgct.Run(*bench, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(res)
+	fmt.Printf("  cycles:              %d\n", res.Cycles)
+	fmt.Printf("  instructions:        %d (IPC %.2f per processor)\n", res.Instructions,
+		float64(res.Instructions)/float64(res.Cycles)/4)
+	fmt.Printf("  fabric requests:     %d (data %d, wb %d, ifetch %d, dcb %d)\n",
+		res.Requests, res.RequestsByCat.Data, res.RequestsByCat.Writebacks,
+		res.RequestsByCat.IFetches, res.RequestsByCat.DCBOps)
+	fmt.Printf("  broadcasts:          %d (%.0f avg / %d peak per 100K cycles)\n",
+		res.Broadcasts, res.AvgBroadcastsPer100K, res.PeakBroadcastsPer100K)
+	fmt.Printf("  direct to memory:    %d\n", res.Directs)
+	fmt.Printf("  completed locally:   %d\n", res.Locals)
+	fmt.Printf("  cache-to-cache:      %d\n", res.CacheToCache)
+	fmt.Printf("  oracle unnecessary:  %.1f%% of broadcasts\n", 100*res.UnnecessaryFraction())
+	fmt.Printf("  demand misses:       %d (avg exposed stall %.0f cycles)\n",
+		res.DemandMisses, res.AvgDemandMissLatency)
+	fmt.Printf("  L2 miss ratio:       %.4f\n", res.L2MissRatio)
+	if res.DMAWrites > 0 {
+		fmt.Printf("  DMA buffer writes:   %d\n", res.DMAWrites)
+	}
+	if res.RegionProbes > 0 {
+		fmt.Printf("  region-state probes: %d\n", res.RegionProbes)
+	}
+	if res.CGCT {
+		fmt.Printf("  RCA hit ratio:       %.3f\n", res.RCAHitRatio)
+		fmt.Printf("  RCA evictions:       %d (%.1f%% empty, avg %.1f lines)\n",
+			res.RCAEvictions, 100*res.RCAEmptyEvictFrac, res.AvgLinesAtEviction)
+		fmt.Printf("  self-invalidations:  %d\n", res.RCASelfInvals)
+	}
+}

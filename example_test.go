@@ -1,0 +1,62 @@
+package cgct_test
+
+import (
+	"fmt"
+
+	"cgct"
+)
+
+// ExampleRun simulates one workload on the paper's four-processor machine
+// with Coarse-Grain Coherence Tracking enabled.
+func ExampleRun() {
+	res, err := cgct.Run("micro-private", cgct.Options{
+		OpsPerProc:  20_000,
+		Seed:        1,
+		CGCT:        true,
+		RegionBytes: 512,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Pure private streaming: the oracle says every broadcast is
+	// unnecessary, and CGCT routes the bulk of them directly to memory.
+	fmt.Printf("unnecessary: %.0f%%\n", 100*res.UnnecessaryFraction())
+	fmt.Printf("avoided: more than two thirds: %v\n", res.AvoidedFraction() > 0.67)
+	// Output:
+	// unnecessary: 100%
+	// avoided: more than two thirds: true
+}
+
+// ExampleCompare runs a benchmark baseline-versus-CGCT and reports the
+// Figure 8 metric.
+func ExampleCompare() {
+	cmp, err := cgct.Compare("micro-private", 512, cgct.Options{
+		OpsPerProc: 20_000,
+		Seed:       1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("CGCT is faster: %v\n", cmp.RuntimeReductionPct > 0)
+	fmt.Printf("broadcasts cut by more than half: %v\n", cmp.BroadcastReductionPct > 50)
+	// Output:
+	// CGCT is faster: true
+	// broadcasts cut by more than half: true
+}
+
+// ExampleBenchmarks lists the paper's workload set.
+func ExampleBenchmarks() {
+	for _, name := range cgct.PaperBenchmarks() {
+		fmt.Println(name)
+	}
+	// Output:
+	// ocean
+	// raytrace
+	// barnes
+	// specint2000rate
+	// specweb99
+	// specjbb2000
+	// tpc-w
+	// tpc-b
+	// tpc-h
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one commercial workload on the paper's four-processor
+// machine, baseline versus Coarse-Grain Coherence Tracking, and print the
+// headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgct"
+)
+
+func main() {
+	const benchmark = "tpc-w"
+
+	cmp, err := cgct.Compare(benchmark, 512, cgct.Options{
+		OpsPerProc: 200_000,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base, cg := cmp.Baseline, cmp.CGCT
+	fmt.Printf("workload: %s on a 4-processor Fireplane-like system\n\n", benchmark)
+	fmt.Printf("baseline:  %11d cycles, %7d broadcasts (%.1f%% unnecessary per the oracle)\n",
+		base.Cycles, base.Broadcasts, 100*base.UnnecessaryFraction())
+	fmt.Printf("with CGCT: %11d cycles, %7d broadcasts, %d direct, %d local\n",
+		cg.Cycles, cg.Broadcasts, cg.Directs, cg.Locals)
+	fmt.Println()
+	fmt.Printf("run-time reduction:   %.1f%%\n", cmp.RuntimeReductionPct)
+	fmt.Printf("broadcast reduction:  %.1f%%\n", cmp.BroadcastReductionPct)
+	fmt.Printf("requests avoided:     %.1f%% (sent directly to memory or completed locally)\n",
+		100*cg.AvoidedFraction())
+	fmt.Printf("traffic: %.0f -> %.0f broadcasts per 100K cycles (peak %d -> %d)\n",
+		base.AvgBroadcastsPer100K, cg.AvgBroadcastsPer100K,
+		base.PeakBroadcastsPer100K, cg.PeakBroadcastsPer100K)
+}

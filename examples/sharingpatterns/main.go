@@ -1,0 +1,113 @@
+// Sharingpatterns: drive the region protocol with hand-built micro-traces
+// and watch how each classic sharing pattern is routed.
+//
+//   - private streaming: one broadcast per region, then direct requests;
+//
+//   - read-only sharing: loads still broadcast (the protocol fetches
+//     exclusive), instruction fetches go direct in externally clean regions;
+//
+//   - migratory data: regions stay externally dirty, broadcasts remain;
+//
+//   - private stores: upgrades and zeroing complete locally once the region
+//     is exclusive.
+//
+//     go run ./examples/sharingpatterns
+package main
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/config"
+	"cgct/internal/sim"
+	"cgct/internal/workload"
+)
+
+// trace builds per-processor op slices.
+type trace struct {
+	ops [2][]workload.Op
+}
+
+func (t *trace) add(p int, kind workload.OpKind, a addr.Addr) {
+	t.addGap(p, kind, a, 8)
+}
+
+// addGap spaces an op from its predecessor; wide gaps let an earlier
+// request's snoop response update the region state before the next op
+// issues (store-buffer entries otherwise race ahead of the first grant).
+func (t *trace) addGap(p int, kind workload.OpKind, a addr.Addr, gap uint32) {
+	t.ops[p] = append(t.ops[p], workload.Op{Kind: kind, Addr: a, Gap: gap})
+}
+
+func run(name string, t *trace) {
+	cfg := config.Default().WithCGCT(512)
+	cfg.Topology.Processors = 2
+	cfg.Proc.PrefetchStreams = 0 // keep the traces exact
+	w := workload.Workload{Name: name, Generators: []workload.Generator{
+		&workload.SliceGenerator{Ops: t.ops[0]},
+		&workload.SliceGenerator{Ops: t.ops[1]},
+	}}
+	s := sim.MustNew(cfg, w, 1)
+	s.DebugChecks = true
+	res := s.Run()
+	var bcast, direct, local uint64
+	for k := range res.Broadcasts {
+		bcast += res.Broadcasts[k]
+		direct += res.Directs[k]
+		local += res.LocalDones[k]
+	}
+	fmt.Printf("%-22s broadcasts=%-4d direct=%-4d local=%-4d cache-to-cache=%d\n",
+		name, bcast, direct, local, res.CacheToCache)
+}
+
+func main() {
+	const base = addr.Addr(0x100000)
+	line := func(i int) addr.Addr { return base + addr.Addr(i*64) }
+
+	// 1. Private streaming: processor 0 walks 64 lines (8 x 512B regions).
+	// Expect ~8 broadcasts (one per region) and ~56 direct requests.
+	st := &trace{}
+	for i := 0; i < 64; i++ {
+		st.add(0, workload.OpLoad, line(i))
+	}
+	st.add(1, workload.OpLoad, base+0x40000) // keep processor 1 busy elsewhere
+	run("private streaming", st)
+
+	// 2. Read-only sharing: both processors read the same 8 lines. Loads
+	// fetch exclusive, so crossing reads still broadcast.
+	ro := &trace{}
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < 8; i++ {
+			ro.add(0, workload.OpLoad, line(i))
+			ro.add(1, workload.OpLoad, line(i))
+		}
+	}
+	run("read-only sharing", ro)
+
+	// 3. Migratory: the two processors take turns read-modify-writing one
+	// record. The region ping-pongs in an externally dirty state.
+	mig := &trace{}
+	for turn := 0; turn < 16; turn++ {
+		p := turn % 2
+		mig.add(p, workload.OpLoad, line(0))
+		mig.add(p, workload.OpStore, line(0))
+	}
+	run("migratory record", mig)
+
+	// 4. Private stores: processor 0 re-writes lines it already owns, then
+	// zeroes a fresh region. Upgrades and DCBZ complete locally.
+	ps := &trace{}
+	for i := 0; i < 8; i++ {
+		ps.add(0, workload.OpLoad, line(i)) // establish the region
+	}
+	for i := 0; i < 8; i++ {
+		ps.add(0, workload.OpStore, line(i))
+	}
+	for i := 8; i < 16; i++ {
+		// Page zeroing: the first DCBZ broadcasts and gains the region
+		// exclusively; the rest complete with no external request at all.
+		ps.addGap(0, workload.OpDCBZ, line(i), 4000)
+	}
+	ps.add(1, workload.OpLoad, base+0x40000)
+	run("private stores + dcbz", ps)
+}

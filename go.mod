@@ -1,0 +1,3 @@
+module cgct
+
+go 1.22

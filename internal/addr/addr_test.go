@@ -1,0 +1,142 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 64, 512, 4096, 1 << 40} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 63, 65, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 64: 6, 512: 9, 4096: 12, 1 << 20: 20}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestNewGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(63, 512); err == nil {
+		t.Error("line size 63 accepted")
+	}
+	if _, err := NewGeometry(64, 500); err == nil {
+		t.Error("region size 500 accepted")
+	}
+	if _, err := NewGeometry(64, 32); err == nil {
+		t.Error("region smaller than line accepted")
+	}
+	g, err := NewGeometry(64, 512)
+	if err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	if g.LinesPerRegion() != 8 {
+		t.Errorf("LinesPerRegion = %d, want 8", g.LinesPerRegion())
+	}
+	if g.LineShift() != 6 || g.RegionShift() != 9 {
+		t.Errorf("shifts = %d/%d, want 6/9", g.LineShift(), g.RegionShift())
+	}
+}
+
+func TestGeometryAlignment(t *testing.T) {
+	g := MustGeometry(64, 512)
+	a := Addr(0x12345)
+	line := g.Line(a)
+	region := g.Region(a)
+	if uint64(line)%64 != 0 {
+		t.Errorf("line %x not 64-aligned", uint64(line))
+	}
+	if uint64(region)%512 != 0 {
+		t.Errorf("region %x not 512-aligned", uint64(region))
+	}
+	if g.RegionOfLine(line) != region {
+		t.Errorf("RegionOfLine mismatch")
+	}
+}
+
+func TestLineIndexRoundTrip(t *testing.T) {
+	g := MustGeometry(64, 1024)
+	r := RegionAddr(0x40000)
+	for i := 0; i < g.LinesPerRegion(); i++ {
+		l := g.LineInRegion(r, i)
+		if g.LineIndexInRegion(l) != i {
+			t.Errorf("index round trip failed at %d", i)
+		}
+		if g.RegionOfLine(l) != r {
+			t.Errorf("line %d escaped its region", i)
+		}
+	}
+}
+
+func TestGeometryProperties(t *testing.T) {
+	g := MustGeometry(64, 512)
+	f := func(raw uint64) bool {
+		a := Addr(raw & PhysAddrMask)
+		line := g.Line(a)
+		region := g.Region(a)
+		// A line is within its region and both contain the address.
+		return uint64(line) >= uint64(region) &&
+			uint64(line) < uint64(region)+512 &&
+			uint64(a) >= uint64(line) && uint64(a) < uint64(line)+64 &&
+			g.RegionOfLine(line) == region &&
+			g.SameRegion(a, Addr(uint64(region)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{Base: 0x1000, Size: 0x2000}
+	if !s.Contains(0x1000) || !s.Contains(0x2fff) {
+		t.Error("Contains boundaries wrong")
+	}
+	if s.Contains(0xfff) || s.Contains(0x3000) {
+		t.Error("Contains accepts outside")
+	}
+	if s.End() != 0x3000 {
+		t.Errorf("End = %x", uint64(s.End()))
+	}
+	// At wraps.
+	if s.At(0x2000+5) != 0x1005 {
+		t.Errorf("At wrap = %x", uint64(s.At(0x2000+5)))
+	}
+	// Slot wraps.
+	slot := s.Slot(17, 0x100)
+	if !s.Contains(slot.Base) || slot.Size != 0x100 {
+		t.Errorf("Slot out of segment: %+v", slot)
+	}
+}
+
+func TestCarve(t *testing.T) {
+	next := Addr(0)
+	a := Carve(&next, 100, 4096)
+	b := Carve(&next, 4096, 4096)
+	if uint64(a.Base)%4096 != 0 || uint64(b.Base)%4096 != 0 {
+		t.Error("carved segments not aligned")
+	}
+	if b.Base < a.End() {
+		t.Error("segments overlap")
+	}
+	if a.Size != 100 || b.Size != 4096 {
+		t.Error("sizes wrong")
+	}
+}
+
+func TestSegmentAtEmpty(t *testing.T) {
+	s := Segment{Base: 0x100, Size: 0}
+	if s.At(12345) != 0x100 {
+		t.Error("At on empty segment should return base")
+	}
+}

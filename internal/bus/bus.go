@@ -1,0 +1,92 @@
+// Package bus models the ordered broadcast address network (the snoop
+// fabric) and the point-to-point data network of the Fireplane-like system.
+//
+// The address network serialises broadcasts: each one occupies the bus for
+// a fixed slot, and requests arriving faster than one per slot accumulate
+// queuing delay — this is the bottleneck Coarse-Grain Coherence Tracking
+// relieves. The data network is modelled as one link per processor with
+// finite bandwidth (Table 3: 16 bytes per system cycle).
+package bus
+
+import (
+	"cgct/internal/config"
+	"cgct/internal/event"
+)
+
+// AddressBusStats counts broadcast traffic.
+type AddressBusStats struct {
+	Broadcasts  uint64
+	QueuedTotal uint64 // total cycles spent waiting for a slot
+	MaxQueue    uint64
+}
+
+// AddressBus is the global ordered broadcast network.
+type AddressBus struct {
+	slotCycles uint64 // bus occupancy of one broadcast, CPU cycles
+	nextFree   event.Cycle
+
+	Stats AddressBusStats
+}
+
+// NewAddressBus builds the bus from interconnect parameters.
+func NewAddressBus(p config.InterconnectParams) *AddressBus {
+	slot := p.AddressBusSysCycles * config.CPUCyclesPerSystemCycle
+	if slot == 0 {
+		slot = 1
+	}
+	return &AddressBus{slotCycles: slot}
+}
+
+// Arbitrate grants a broadcast slot at or after cycle t and returns the
+// grant time. The broadcast's snoop completes SnoopLatency after the grant.
+func (b *AddressBus) Arbitrate(t event.Cycle) event.Cycle {
+	grant := t
+	if b.nextFree > grant {
+		grant = b.nextFree
+	}
+	queued := uint64(grant - t)
+	b.Stats.Broadcasts++
+	b.Stats.QueuedTotal += queued
+	if queued > b.Stats.MaxQueue {
+		b.Stats.MaxQueue = queued
+	}
+	b.nextFree = grant + event.Cycle(b.slotCycles)
+	return grant
+}
+
+// DataNet models the per-processor data links. A transfer of one cache
+// line occupies the receiving processor's link for lineBytes/bandwidth
+// system cycles.
+type DataNet struct {
+	linkBusy   []event.Cycle // per processor
+	occupancy  uint64        // CPU cycles one line transfer holds a link
+	TotalXfers uint64
+	QueuedTot  uint64
+}
+
+// NewDataNet builds the data network for n processors.
+func NewDataNet(n int, p config.InterconnectParams, lineBytes uint64) *DataNet {
+	bw := p.DataBusBytesPerSysCycle
+	if bw == 0 {
+		bw = 16
+	}
+	sysCycles := (lineBytes + bw - 1) / bw
+	return &DataNet{
+		linkBusy:  make([]event.Cycle, n),
+		occupancy: config.SysCycles(sysCycles),
+	}
+}
+
+// Deliver schedules a line transfer to processor p whose critical word
+// arrives no earlier than ready; it returns the cycle the critical word
+// actually arrives after link contention.
+func (d *DataNet) Deliver(p int, ready event.Cycle) event.Cycle {
+	start := ready
+	if d.linkBusy[p] > start {
+		start = d.linkBusy[p]
+	}
+	d.QueuedTot += uint64(start - ready)
+	d.TotalXfers++
+	d.linkBusy[p] = start + event.Cycle(d.occupancy)
+	return start
+}

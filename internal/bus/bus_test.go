@@ -1,0 +1,77 @@
+package bus
+
+import (
+	"testing"
+
+	"cgct/internal/config"
+)
+
+func TestArbitrationSerialises(t *testing.T) {
+	b := NewAddressBus(config.Default().Net) // 1 system cycle = 10 CPU cycles per slot
+	g1 := b.Arbitrate(0)
+	g2 := b.Arbitrate(0)
+	g3 := b.Arbitrate(0)
+	if g1 != 0 || g2 != 10 || g3 != 20 {
+		t.Errorf("grants = %d/%d/%d, want 0/10/20", g1, g2, g3)
+	}
+	if b.Stats.Broadcasts != 3 {
+		t.Errorf("broadcasts = %d", b.Stats.Broadcasts)
+	}
+	if b.Stats.QueuedTotal != 30 || b.Stats.MaxQueue != 20 {
+		t.Errorf("queue stats = %+v", b.Stats)
+	}
+}
+
+func TestArbitrationIdleBus(t *testing.T) {
+	b := NewAddressBus(config.Default().Net)
+	b.Arbitrate(0)
+	// A request long after the last slot sees no queuing.
+	if g := b.Arbitrate(1000); g != 1000 {
+		t.Errorf("idle grant = %d", g)
+	}
+	if b.Stats.MaxQueue != 0 {
+		t.Errorf("idle bus recorded queueing: %+v", b.Stats)
+	}
+}
+
+func TestZeroSlotDefaults(t *testing.T) {
+	p := config.Default().Net
+	p.AddressBusSysCycles = 0
+	b := NewAddressBus(p)
+	g1 := b.Arbitrate(0)
+	g2 := b.Arbitrate(0)
+	if g2 <= g1 {
+		t.Error("zero slot width must still serialise broadcasts")
+	}
+}
+
+func TestDataNetOccupancy(t *testing.T) {
+	d := NewDataNet(2, config.Default().Net, 64)
+	// 64B at 16B per system cycle = 4 system cycles = 40 CPU cycles.
+	a1 := d.Deliver(0, 100)
+	a2 := d.Deliver(0, 100)
+	if a1 != 100 {
+		t.Errorf("first delivery at %d", a1)
+	}
+	if a2 != 140 {
+		t.Errorf("second delivery at %d, want 140 (link busy)", a2)
+	}
+	// Another processor's link is independent.
+	if a3 := d.Deliver(1, 100); a3 != 100 {
+		t.Errorf("independent link delayed: %d", a3)
+	}
+	if d.TotalXfers != 3 || d.QueuedTot != 40 {
+		t.Errorf("stats: xfers=%d queued=%d", d.TotalXfers, d.QueuedTot)
+	}
+}
+
+func TestDataNetZeroBandwidthDefaults(t *testing.T) {
+	p := config.Default().Net
+	p.DataBusBytesPerSysCycle = 0
+	d := NewDataNet(1, p, 64)
+	a1 := d.Deliver(0, 0)
+	a2 := d.Deliver(0, 0)
+	if a2-a1 != 40 {
+		t.Errorf("default bandwidth occupancy = %d, want 40", a2-a1)
+	}
+}

@@ -1,0 +1,290 @@
+// Package cache implements the set-associative, write-back caches of the
+// simulated processors (L1I, L1D and L2). It stores tags and coherence
+// state only — the simulator tracks no data contents except for a separate
+// architectural-memory checker in the tests.
+//
+// The cache is a plain deterministic data structure; all timing lives in
+// the simulation layer.
+package cache
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/coherence"
+)
+
+// Line is one cache line's bookkeeping.
+type Line struct {
+	Addr  addr.LineAddr
+	State coherence.LineState
+	lru   uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // capacity/conflict evictions of valid lines
+	DirtyEvicts uint64 // evictions that produced a write-back
+	Invals      uint64 // externally forced invalidations
+}
+
+// MissRatio returns misses / (hits+misses), or 0 when idle.
+func (s Stats) MissRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+// Cache is a set-associative cache keyed by line address.
+type Cache struct {
+	name      string
+	assoc     int
+	numSets   uint64
+	lineShift uint
+	setMask   uint64
+	ways      []Line // numSets * assoc, set-major
+	lruTick   uint64
+
+	// OnEvict, when set, observes every valid line leaving the cache
+	// (capacity eviction or invalidation). The RCA uses it to maintain
+	// region line counts; the L2 uses it to back-invalidate the L1s.
+	OnEvict func(l Line, wasEviction bool)
+	// OnAllocate observes every line entering the cache.
+	OnAllocate func(l Line)
+
+	Stats Stats
+}
+
+// New builds a cache of sizeBytes with the given associativity and line
+// size. Panics on invalid geometry (configuration is validated upstream).
+func New(name string, sizeBytes uint64, assoc int, lineBytes uint64) *Cache {
+	if assoc <= 0 || !addr.IsPow2(lineBytes) {
+		panic(fmt.Sprintf("cache %s: bad geometry", name))
+	}
+	numSets := sizeBytes / (lineBytes * uint64(assoc))
+	if numSets == 0 || !addr.IsPow2(numSets) {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", name, numSets))
+	}
+	return &Cache{
+		name:      name,
+		assoc:     assoc,
+		numSets:   numSets,
+		lineShift: addr.Log2(lineBytes),
+		setMask:   numSets - 1,
+		ways:      make([]Line, numSets*uint64(assoc)),
+	}
+}
+
+// Name returns the cache's name (for diagnostics).
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() uint64 { return c.numSets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() uint64 { return 1 << c.lineShift }
+
+func (c *Cache) setIndex(l addr.LineAddr) uint64 {
+	return (uint64(l) >> c.lineShift) & c.setMask
+}
+
+func (c *Cache) set(l addr.LineAddr) []Line {
+	i := c.setIndex(l) * uint64(c.assoc)
+	return c.ways[i : i+uint64(c.assoc)]
+}
+
+// Lookup returns the line's state without touching LRU or stats. Invalid
+// means not present.
+func (c *Cache) Lookup(l addr.LineAddr) coherence.LineState {
+	if e := c.Probe(l); e != nil {
+		return e.State
+	}
+	return coherence.Invalid
+}
+
+// Probe returns a pointer to the line's entry if present (state valid),
+// else nil. The pointer is invalidated by the next Allocate.
+func (c *Cache) Probe(l addr.LineAddr) *Line {
+	s := c.set(l)
+	for i := range s {
+		if s[i].State.Valid() && s[i].Addr == l {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Access looks the line up and updates LRU and hit/miss statistics. It
+// returns the entry if present.
+func (c *Cache) Access(l addr.LineAddr) *Line {
+	e := c.Probe(l)
+	if e == nil {
+		c.Stats.Misses++
+		return nil
+	}
+	c.Stats.Hits++
+	c.lruTick++
+	e.lru = c.lruTick
+	return e
+}
+
+// Touch refreshes the line's LRU position without counting a hit.
+func (c *Cache) Touch(l addr.LineAddr) {
+	if e := c.Probe(l); e != nil {
+		c.lruTick++
+		e.lru = c.lruTick
+	}
+}
+
+// VictimFor returns the line that would be displaced to make room for l
+// (zero Line with Invalid state if a free way exists). It does not modify
+// the cache.
+func (c *Cache) VictimFor(l addr.LineAddr) Line {
+	s := c.set(l)
+	var victim *Line
+	for i := range s {
+		if !s[i].State.Valid() {
+			return Line{}
+		}
+		if victim == nil || s[i].lru < victim.lru {
+			victim = &s[i]
+		}
+	}
+	return *victim
+}
+
+// Allocate inserts line l with the given state, evicting the LRU way if the
+// set is full. It returns the evicted line (State != Invalid when a real
+// eviction happened). Allocating a line that is already present just
+// updates its state.
+func (c *Cache) Allocate(l addr.LineAddr, st coherence.LineState) (evicted Line) {
+	if !st.Valid() {
+		panic(fmt.Sprintf("cache %s: allocating %v in state I", c.name, l))
+	}
+	if e := c.Probe(l); e != nil {
+		e.State = st
+		c.lruTick++
+		e.lru = c.lruTick
+		return Line{}
+	}
+	s := c.set(l)
+	var slot *Line
+	for i := range s {
+		if !s[i].State.Valid() {
+			slot = &s[i]
+			break
+		}
+		if slot == nil || s[i].lru < slot.lru {
+			slot = &s[i]
+		}
+	}
+	if slot.State.Valid() {
+		evicted = *slot
+		c.Stats.Evictions++
+		if evicted.State.Dirty() {
+			c.Stats.DirtyEvicts++
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(evicted, true)
+		}
+	}
+	c.lruTick++
+	*slot = Line{Addr: l, State: st, lru: c.lruTick}
+	if c.OnAllocate != nil {
+		c.OnAllocate(*slot)
+	}
+	return evicted
+}
+
+// SetState changes the state of a present line; it is a no-op when the line
+// is absent. Setting Invalid removes the line (counted as an invalidation).
+func (c *Cache) SetState(l addr.LineAddr, st coherence.LineState) {
+	e := c.Probe(l)
+	if e == nil {
+		return
+	}
+	if st == coherence.Invalid {
+		c.invalidateEntry(e)
+		return
+	}
+	e.State = st
+}
+
+// Invalidate removes the line, returning its prior state (Invalid if it was
+// not present).
+func (c *Cache) Invalidate(l addr.LineAddr) coherence.LineState {
+	e := c.Probe(l)
+	if e == nil {
+		return coherence.Invalid
+	}
+	prior := e.State
+	c.invalidateEntry(e)
+	return prior
+}
+
+func (c *Cache) invalidateEntry(e *Line) {
+	old := *e
+	e.State = coherence.Invalid
+	c.Stats.Invals++
+	if c.OnEvict != nil {
+		c.OnEvict(old, false)
+	}
+}
+
+// CountValid returns the number of valid lines (test/diagnostic helper).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].State.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line (order: set-major). Intended
+// for tests and final-state checks, not hot paths.
+func (c *Cache) ForEachValid(fn func(Line)) {
+	for i := range c.ways {
+		if c.ways[i].State.Valid() {
+			fn(c.ways[i])
+		}
+	}
+}
+
+// LinesInRegion returns the valid lines the cache holds within the region
+// (using geometry g). The result is in line-address order.
+func (c *Cache) LinesInRegion(g addr.Geometry, r addr.RegionAddr) []Line {
+	var out []Line
+	for i := 0; i < g.LinesPerRegion(); i++ {
+		if e := c.Probe(g.LineInRegion(r, i)); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// RegionSnoop summarises the cache's copies within a region: whether any
+// valid line exists and whether any line is in a modifiable-capable state
+// (E, O or M). This is what a remote processor contributes to the region
+// snoop response. Exclusive counts as "dirty" for region purposes because
+// MOESI permits a silent E→M upgrade — a region containing a remote E line
+// cannot be treated as externally clean.
+func (c *Cache) RegionSnoop(g addr.Geometry, r addr.RegionAddr) (present, modifiable bool) {
+	for i := 0; i < g.LinesPerRegion(); i++ {
+		if e := c.Probe(g.LineInRegion(r, i)); e != nil {
+			present = true
+			if e.State.Dirty() || e.State == coherence.Exclusive {
+				return true, true
+			}
+		}
+	}
+	return present, false
+}

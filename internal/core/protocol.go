@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"cgct/internal/coherence"
+)
+
+// Route is where a memory request is sent, as decided by the region
+// protocol before the request leaves the processor.
+type Route uint8
+
+const (
+	// RouteBroadcast: the request must be broadcast to all processors (the
+	// conventional path). Mandatory whenever the region state is Invalid or
+	// externally dirty, and for modifiable copies when externally clean.
+	RouteBroadcast Route = iota
+	// RouteDirect: the request is sent straight to the home memory
+	// controller, skipping the snoop.
+	RouteDirect
+	// RouteLocal: the request completes with no external request at all
+	// (upgrades and DCB operations in exclusive regions).
+	RouteLocal
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RouteBroadcast:
+		return "broadcast"
+	case RouteDirect:
+		return "direct"
+	case RouteLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("Route(%d)", uint8(r))
+	}
+}
+
+// RouteFor decides how a request of kind k may be routed given the current
+// region state (Table 1's "Broadcast Needed?" column, refined per request
+// kind as in §3.1 of the paper):
+//
+//   - Invalid regions broadcast everything (the broadcast also fetches the
+//     region snoop response that fills the RCA).
+//   - Exclusive regions (CI, DI) never broadcast: data requests go direct
+//     to memory; upgrades and DCB operations complete locally; DCBF must
+//     still push dirty data to memory, so it goes direct.
+//   - Externally clean regions (CC, DC) send shared reads (instruction
+//     fetches) direct; requests for modifiable copies — including ordinary
+//     loads, which this protocol fetches exclusive when possible — are
+//     broadcast.
+//   - Externally dirty regions (CD, DD) broadcast everything except
+//     write-backs.
+//   - Write-backs go direct whenever the region is valid: the region entry
+//     carries the home memory-controller ID (§5.1), so no broadcast is
+//     needed to locate it.
+func RouteFor(s RegionState, k coherence.ReqKind) Route {
+	if k == coherence.ReqWriteback {
+		if s.Valid() {
+			return RouteDirect
+		}
+		return RouteBroadcast
+	}
+	switch {
+	case !s.Valid():
+		return RouteBroadcast
+	case s.Exclusive():
+		switch k {
+		case coherence.ReqUpgrade, coherence.ReqDCBZ, coherence.ReqDCBI:
+			return RouteLocal
+		case coherence.ReqDCBF:
+			return RouteDirect
+		default:
+			return RouteDirect
+		}
+	case s.ExternallyClean():
+		// Only reads of shared copies can skip the broadcast here.
+		if k == coherence.ReqIFetch {
+			return RouteDirect
+		}
+		return RouteBroadcast
+	default: // externally dirty
+		return RouteBroadcast
+	}
+}
+
+// modifiable reports whether completing a request of kind k leaves the
+// local processor with (potentially) modified lines in the region — the
+// condition that flips the local letter to D.
+func modifiable(k coherence.ReqKind, lineGrantedExclusive bool) bool {
+	if k.WantsExclusive() {
+		return true
+	}
+	switch k {
+	case coherence.ReqRead, coherence.ReqPrefetch:
+		// Loads that bring the line in exclusive may silently upgrade it to
+		// Modified later, so the region must be marked dirty-local.
+		return lineGrantedExclusive
+	default:
+		return false
+	}
+}
+
+// AfterBroadcast returns the region state after the local processor's
+// broadcast of kind k completed with snoop response resp. This covers both
+// the allocation transitions of Figure 3 (from Invalid) and the upgrade
+// transitions of Figure 4 (from a valid state, using the region snoop
+// response to upgrade the external component when possible).
+//
+// lineGrantedExclusive reports whether the conventional protocol granted
+// the requested line in a modifiable (E/M) state.
+func AfterBroadcast(prev RegionState, k coherence.ReqKind, lineGrantedExclusive bool, resp coherence.SnoopResponse) RegionState {
+	if k == coherence.ReqWriteback {
+		return prev // write-backs do not change region state
+	}
+	ext := ExtInvalid
+	if resp.RegionDirty {
+		ext = ExtDirty
+	} else if resp.RegionClean {
+		ext = ExtClean
+	}
+	localDirty := prev.Valid() && prev.LocalDirty()
+	if modifiable(k, lineGrantedExclusive) {
+		localDirty = true
+	}
+	// DCBF/DCBI leave the local processor without the line; they do not
+	// clean the whole region, so the local letter is unchanged (other lines
+	// of the region may still be cached dirty).
+	return Compose(localDirty, ext)
+}
+
+// AfterDirect returns the region state after a request that skipped the
+// broadcast (direct or local route). The external component is unchanged —
+// the request was invisible to other processors. The only movement is the
+// silent CI→DI upgrade (dashed transition in Figure 3) when a modifiable
+// copy is loaded.
+func AfterDirect(prev RegionState, k coherence.ReqKind, lineGrantedExclusive bool) RegionState {
+	if !prev.Valid() {
+		panic("core: direct request with invalid region state")
+	}
+	if k == coherence.ReqWriteback {
+		return prev
+	}
+	localDirty := prev.LocalDirty() || modifiable(k, lineGrantedExclusive)
+	return Compose(localDirty, prev.External())
+}
+
+// ExternalOutcome describes what an external (snooped) request did to the
+// local region entry.
+type ExternalOutcome uint8
+
+const (
+	// ExtKept: entry retained, possibly downgraded.
+	ExtKept ExternalOutcome = iota
+	// ExtSelfInvalidated: the entry held no cached lines, so it was
+	// invalidated to let the requestor gain an exclusive region.
+	ExtSelfInvalidated
+)
+
+// AfterExternal returns the region state after observing another
+// processor's broadcast to this region (Figure 5, top), plus whether the
+// entry self-invalidated.
+//
+// requesterExclusive reports whether the requester obtained (or will
+// obtain) a modifiable copy of the line — known to the region protocol when
+// the line snoop response is visible or the local processor caches the line
+// (§3.1: this allows CC/DC instead of CD/DD after external reads).
+//
+// lineCount is the number of region lines currently cached locally; when it
+// is zero the entry self-invalidates so later requests can obtain an
+// exclusive region (§3.1's self-invalidation).
+func AfterExternal(prev RegionState, k coherence.ReqKind, requesterExclusive bool, lineCount int) (RegionState, ExternalOutcome) {
+	if !prev.Valid() {
+		return prev, ExtKept
+	}
+	if k == coherence.ReqWriteback {
+		return prev, ExtKept // external write-backs carry no sharing information
+	}
+	if lineCount == 0 {
+		return RegionInvalid, ExtSelfInvalidated
+	}
+	ext := prev.External()
+	switch {
+	case k.WantsExclusive() || requesterExclusive:
+		ext = ExtDirty
+	case k == coherence.ReqDCBF || k == coherence.ReqDCBI:
+		// The requester ends up without the line; no new external sharer.
+	default: // shared read / instruction fetch / shared prefetch
+		if ext == ExtInvalid {
+			ext = ExtClean
+		}
+	}
+	return Compose(prev.LocalDirty(), ext), ExtKept
+}

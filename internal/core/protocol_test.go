@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cgct/internal/coherence"
+)
+
+// TestRouteForTable exhaustively pins the routing decision for every
+// (state, request-kind) pair to Table 1's "Broadcast Needed?" semantics.
+func TestRouteForTable(t *testing.T) {
+	allKinds := []coherence.ReqKind{
+		coherence.ReqRead, coherence.ReqReadExcl, coherence.ReqUpgrade,
+		coherence.ReqIFetch, coherence.ReqWriteback,
+		coherence.ReqDCBZ, coherence.ReqDCBF, coherence.ReqDCBI,
+		coherence.ReqPrefetch, coherence.ReqPrefetchExcl,
+	}
+	for _, s := range AllRegionStates {
+		for _, k := range allKinds {
+			got := RouteFor(s, k)
+			var want Route
+			switch {
+			case k == coherence.ReqWriteback:
+				// Write-backs go direct whenever the region entry (and its
+				// memory-controller ID) exists.
+				if s.Valid() {
+					want = RouteDirect
+				} else {
+					want = RouteBroadcast
+				}
+			case !s.Valid():
+				want = RouteBroadcast
+			case s.Exclusive():
+				switch k {
+				case coherence.ReqUpgrade, coherence.ReqDCBZ, coherence.ReqDCBI:
+					want = RouteLocal
+				default:
+					want = RouteDirect
+				}
+			case s.ExternallyClean():
+				if k == coherence.ReqIFetch {
+					want = RouteDirect
+				} else {
+					want = RouteBroadcast // includes loads: they fetch exclusive
+				}
+			default: // externally dirty
+				want = RouteBroadcast
+			}
+			if got != want {
+				t.Errorf("RouteFor(%v, %v) = %v, want %v", s, k, got, want)
+			}
+		}
+	}
+}
+
+func TestExclusiveStatesNeverBroadcast(t *testing.T) {
+	for _, s := range []RegionState{RegionCI, RegionDI} {
+		for k := 0; k < coherence.NKinds; k++ {
+			if RouteFor(s, coherence.ReqKind(k)) == RouteBroadcast {
+				t.Errorf("exclusive state %v broadcasts %v", s, coherence.ReqKind(k))
+			}
+		}
+	}
+}
+
+func TestAfterBroadcastFromInvalid(t *testing.T) {
+	// Figure 3: I + ifetch/shared read -> CI/CC/CD by region response;
+	// I + RFO / exclusive read -> DI/DC/DD.
+	cases := []struct {
+		kind    coherence.ReqKind
+		granted bool // line granted exclusive
+		resp    coherence.SnoopResponse
+		want    RegionState
+	}{
+		{coherence.ReqIFetch, false, coherence.SnoopResponse{}, RegionCI},
+		{coherence.ReqIFetch, false, coherence.SnoopResponse{RegionClean: true}, RegionCC},
+		{coherence.ReqIFetch, false, coherence.SnoopResponse{RegionDirty: true}, RegionCD},
+		{coherence.ReqRead, false, coherence.SnoopResponse{RegionClean: true}, RegionCC},
+		{coherence.ReqRead, true, coherence.SnoopResponse{}, RegionDI},
+		{coherence.ReqReadExcl, true, coherence.SnoopResponse{}, RegionDI},
+		{coherence.ReqReadExcl, true, coherence.SnoopResponse{RegionClean: true}, RegionDC},
+		{coherence.ReqReadExcl, true, coherence.SnoopResponse{RegionDirty: true}, RegionDD},
+		{coherence.ReqDCBZ, true, coherence.SnoopResponse{}, RegionDI},
+		{coherence.ReqUpgrade, true, coherence.SnoopResponse{RegionClean: true, RegionDirty: true}, RegionDD},
+	}
+	for _, c := range cases {
+		got := AfterBroadcast(RegionInvalid, c.kind, c.granted, c.resp)
+		if got != c.want {
+			t.Errorf("AfterBroadcast(I, %v, excl=%v, %+v) = %v, want %v",
+				c.kind, c.granted, c.resp, got, c.want)
+		}
+	}
+}
+
+func TestAfterBroadcastUpgrades(t *testing.T) {
+	// Figure 4: a broadcast from CC for an RFO whose response shows no
+	// sharers upgrades the region to DI.
+	got := AfterBroadcast(RegionCC, coherence.ReqReadExcl, true, coherence.SnoopResponse{})
+	if got != RegionDI {
+		t.Errorf("CC + RFO with empty response = %v, want DI", got)
+	}
+	// An externally dirty region whose response shows nobody left can be
+	// reclaimed exclusively.
+	got = AfterBroadcast(RegionCD, coherence.ReqRead, false, coherence.SnoopResponse{})
+	if got != RegionCI {
+		t.Errorf("CD + read with empty response = %v, want CI", got)
+	}
+	// The local-dirty letter is sticky: once D, stays D.
+	got = AfterBroadcast(RegionDD, coherence.ReqRead, false, coherence.SnoopResponse{RegionClean: true})
+	if got != RegionDC {
+		t.Errorf("DD + shared read, response clean = %v, want DC", got)
+	}
+}
+
+func TestAfterBroadcastWritebackNoChange(t *testing.T) {
+	for _, s := range AllRegionStates {
+		if got := AfterBroadcast(s, coherence.ReqWriteback, false, coherence.SnoopResponse{RegionDirty: true}); got != s {
+			t.Errorf("write-back changed region state %v -> %v", s, got)
+		}
+	}
+}
+
+func TestAfterDirectSilentUpgrade(t *testing.T) {
+	// The dashed CI -> DI transition of Figure 3: loading a modifiable copy
+	// in an exclusive clean region needs no external request.
+	if got := AfterDirect(RegionCI, coherence.ReqRead, true); got != RegionDI {
+		t.Errorf("CI + exclusive load = %v, want DI", got)
+	}
+	if got := AfterDirect(RegionCI, coherence.ReqIFetch, false); got != RegionCI {
+		t.Errorf("CI + ifetch = %v, want CI", got)
+	}
+	// Direct requests never change the external component.
+	if got := AfterDirect(RegionDC, coherence.ReqIFetch, false); got != RegionDC {
+		t.Errorf("DC + direct ifetch = %v, want DC", got)
+	}
+	if got := AfterDirect(RegionDI, coherence.ReqReadExcl, true); got != RegionDI {
+		t.Errorf("DI + direct RFO = %v, want DI", got)
+	}
+}
+
+func TestAfterDirectPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AfterDirect from Invalid did not panic")
+		}
+	}()
+	AfterDirect(RegionInvalid, coherence.ReqRead, false)
+}
+
+func TestAfterExternalDowngrades(t *testing.T) {
+	// Figure 5 top: external requests downgrade the external component.
+	cases := []struct {
+		prev      RegionState
+		kind      coherence.ReqKind
+		reqExcl   bool
+		lineCount int
+		want      RegionState
+	}{
+		// External shared read: exclusive -> externally clean.
+		{RegionCI, coherence.ReqRead, false, 1, RegionCC},
+		{RegionDI, coherence.ReqRead, false, 2, RegionDC},
+		{RegionDI, coherence.ReqIFetch, false, 1, RegionDC},
+		// External read granted exclusive -> externally dirty.
+		{RegionCI, coherence.ReqRead, true, 1, RegionCD},
+		// External RFO -> externally dirty.
+		{RegionDI, coherence.ReqReadExcl, true, 3, RegionDD},
+		{RegionCC, coherence.ReqUpgrade, true, 1, RegionCD},
+		{RegionDC, coherence.ReqDCBZ, true, 1, RegionDD},
+		// Externally dirty stays dirty on shared reads (conservative).
+		{RegionCD, coherence.ReqRead, false, 1, RegionCD},
+		// DCBF/DCBI leave no new external sharer.
+		{RegionDI, coherence.ReqDCBF, false, 1, RegionDI},
+		{RegionCC, coherence.ReqDCBI, false, 1, RegionCC},
+	}
+	for _, c := range cases {
+		got, outcome := AfterExternal(c.prev, c.kind, c.reqExcl, c.lineCount)
+		if got != c.want || outcome != ExtKept {
+			t.Errorf("AfterExternal(%v, %v, excl=%v, n=%d) = %v/%v, want %v/kept",
+				c.prev, c.kind, c.reqExcl, c.lineCount, got, outcome, c.want)
+		}
+	}
+}
+
+func TestAfterExternalSelfInvalidation(t *testing.T) {
+	// §3.1: an external request hitting a region with no cached lines
+	// invalidates the entry so the requestor can gain region exclusivity.
+	for _, prev := range []RegionState{RegionCI, RegionDD, RegionDC} {
+		got, outcome := AfterExternal(prev, coherence.ReqRead, false, 0)
+		if got != RegionInvalid || outcome != ExtSelfInvalidated {
+			t.Errorf("AfterExternal(%v, read, n=0) = %v/%v, want I/self-invalidated",
+				prev, got, outcome)
+		}
+	}
+	// Write-backs carry no sharing information and never self-invalidate.
+	got, outcome := AfterExternal(RegionDI, coherence.ReqWriteback, false, 0)
+	if got != RegionDI || outcome != ExtKept {
+		t.Errorf("external write-back changed state: %v/%v", got, outcome)
+	}
+}
+
+func TestAfterExternalInvalidStaysInvalid(t *testing.T) {
+	got, _ := AfterExternal(RegionInvalid, coherence.ReqReadExcl, true, 0)
+	if got != RegionInvalid {
+		t.Errorf("external request resurrected an invalid entry: %v", got)
+	}
+}
+
+// TestExternalNeverUpgradesProperty: an external request can never move a
+// region toward exclusivity (monotone downgrade), except by
+// self-invalidating an empty region.
+func TestExternalNeverUpgradesProperty(t *testing.T) {
+	rank := func(e ExtState) int { return int(e) } // Invalid < Clean < Dirty
+	f := func(prevIdx, kindIdx uint8, reqExcl bool, lineCount uint8) bool {
+		prev := AllRegionStates[int(prevIdx)%len(AllRegionStates)]
+		kind := coherence.ReqKind(kindIdx) % coherence.ReqKind(coherence.NKinds)
+		n := int(lineCount % 8)
+		got, outcome := AfterExternal(prev, kind, reqExcl, n)
+		if outcome == ExtSelfInvalidated {
+			return got == RegionInvalid && n == 0 && prev.Valid()
+		}
+		if !prev.Valid() {
+			return got == prev
+		}
+		// Local component unchanged; external never decreases in rank.
+		return got.LocalDirty() == prev.LocalDirty() &&
+			rank(got.External()) >= rank(prev.External())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastMatchesResponseProperty: after any broadcast, the external
+// component exactly reflects the region snoop response, and the local
+// component is the OR of the previous local-dirty and the request's
+// modifiability.
+func TestBroadcastMatchesResponseProperty(t *testing.T) {
+	f := func(prevIdx, kindIdx uint8, granted, clean, dirty bool) bool {
+		prev := AllRegionStates[int(prevIdx)%len(AllRegionStates)]
+		kind := coherence.ReqKind(kindIdx) % coherence.ReqKind(coherence.NKinds)
+		if kind == coherence.ReqWriteback {
+			return true
+		}
+		resp := coherence.SnoopResponse{RegionClean: clean, RegionDirty: dirty}
+		got := AfterBroadcast(prev, kind, granted, resp)
+		wantExt := ExtInvalid
+		if dirty {
+			wantExt = ExtDirty
+		} else if clean {
+			wantExt = ExtClean
+		}
+		if got.External() != wantExt {
+			return false
+		}
+		wasDirty := prev.Valid() && prev.LocalDirty()
+		becomes := kind.WantsExclusive() ||
+			((kind == coherence.ReqRead || kind == coherence.ReqPrefetch) && granted)
+		return got.LocalDirty() == (wasDirty || becomes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	if RouteBroadcast.String() != "broadcast" || RouteDirect.String() != "direct" || RouteLocal.String() != "local" {
+		t.Error("route strings wrong")
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"cgct/internal/addr"
+)
+
+func testRCA() *RCA {
+	return NewRCA(addr.MustGeometry(64, 512), 4, 2) // tiny: 4 sets, 2 ways
+}
+
+// regionInSet returns the i'th distinct region mapping to the given set.
+func regionInSet(set, i uint64) addr.RegionAddr {
+	return addr.RegionAddr((i*4 + set) * 512)
+}
+
+func TestLookupMiss(t *testing.T) {
+	r := testRCA()
+	if st := r.Lookup(regionInSet(0, 0)); st != RegionInvalid {
+		t.Errorf("lookup on empty = %v", st)
+	}
+	if r.Stats.Misses != 1 {
+		t.Errorf("misses = %d", r.Stats.Misses)
+	}
+}
+
+func TestAllocateAndLookup(t *testing.T) {
+	r := testRCA()
+	reg := regionInSet(1, 0)
+	r.Allocate(reg, RegionCI, 1)
+	if st := r.Lookup(reg); st != RegionCI {
+		t.Errorf("lookup = %v", st)
+	}
+	if e := r.Probe(reg); e == nil || e.MemCtrl != 1 {
+		t.Errorf("probe = %+v", e)
+	}
+	if r.Stats.Hits != 1 || r.Stats.Allocations != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+}
+
+func TestAllocateUpdatesInPlace(t *testing.T) {
+	r := testRCA()
+	reg := regionInSet(2, 0)
+	r.Allocate(reg, RegionCI, 0)
+	r.IncLineCount(reg)
+	r.Allocate(reg, RegionDD, 1)
+	e := r.Probe(reg)
+	if e.State != RegionDD || e.MemCtrl != 1 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.LineCount != 1 {
+		t.Error("re-allocation lost the line count")
+	}
+	if r.Stats.Allocations != 1 {
+		t.Error("in-place update counted as allocation")
+	}
+}
+
+func TestReplacementFavorsEmptyRegions(t *testing.T) {
+	r := testRCA()
+	a, b, c := regionInSet(0, 0), regionInSet(0, 1), regionInSet(0, 2)
+	r.Allocate(a, RegionDI, 0)
+	r.IncLineCount(a) // a has cached lines
+	r.Allocate(b, RegionCI, 0)
+	// b is empty; despite a being LRU, b must be the victim (§3.2).
+	if v := r.VictimFor(c); v.Region != b {
+		t.Errorf("victim = %x, want empty region %x", uint64(v.Region), uint64(b))
+	}
+	r.Allocate(c, RegionDI, 0)
+	if r.Probe(b) != nil {
+		t.Error("empty region survived")
+	}
+	if r.Probe(a) == nil {
+		t.Error("non-empty region was evicted instead")
+	}
+	if r.Stats.EvictedByCount[0] != 1 {
+		t.Errorf("eviction histogram = %+v", r.Stats.EvictedByCount)
+	}
+}
+
+func TestReplacementFallsBackToLRU(t *testing.T) {
+	r := testRCA()
+	a, b, c := regionInSet(1, 0), regionInSet(1, 1), regionInSet(1, 2)
+	r.Allocate(a, RegionDI, 0)
+	r.IncLineCount(a)
+	r.Allocate(b, RegionDI, 0)
+	r.IncLineCount(b)
+	r.Lookup(a) // refresh a; b becomes LRU
+	r.Allocate(c, RegionCI, 0)
+	if r.Probe(b) != nil {
+		t.Error("LRU non-empty region should have been evicted")
+	}
+	if r.Stats.EvictedByCount[1] != 1 {
+		t.Errorf("eviction histogram = %+v", r.Stats.EvictedByCount)
+	}
+}
+
+func TestOnEvictFiresWhileInstalled(t *testing.T) {
+	r := testRCA()
+	a, b, c := regionInSet(3, 0), regionInSet(3, 1), regionInSet(3, 2)
+	r.Allocate(a, RegionDI, 2)
+	r.Allocate(b, RegionCI, 0)
+	r.IncLineCount(b)
+	fired := false
+	r.OnEvict = func(e Entry) {
+		fired = true
+		if e.Region != a {
+			t.Errorf("evicted %x, want %x", uint64(e.Region), uint64(a))
+		}
+		if e.MemCtrl != 2 {
+			t.Error("victim lost its controller ID")
+		}
+		// The entry must still be probe-able during the flush.
+		if r.Probe(a) == nil {
+			t.Error("victim not installed during OnEvict")
+		}
+	}
+	r.Allocate(c, RegionCI, 0) // a is empty -> victim
+	if !fired {
+		t.Error("OnEvict did not fire")
+	}
+	if r.Probe(a) != nil {
+		t.Error("victim still present after eviction")
+	}
+}
+
+func TestLineCountTracking(t *testing.T) {
+	r := testRCA()
+	reg := regionInSet(0, 3)
+	r.Allocate(reg, RegionDI, 0)
+	r.IncLineCount(reg)
+	r.IncLineCount(reg)
+	r.DecLineCount(reg)
+	if e := r.Probe(reg); e.LineCount != 1 {
+		t.Errorf("line count = %d", e.LineCount)
+	}
+	// Dec on a missing region is tolerated (mid-eviction).
+	r.DecLineCount(regionInSet(0, 5))
+}
+
+func TestIncLineCountWithoutEntryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IncLineCount without entry did not panic (inclusion violation)")
+		}
+	}()
+	testRCA().IncLineCount(regionInSet(0, 0))
+}
+
+func TestNegativeLineCountPanics(t *testing.T) {
+	r := testRCA()
+	reg := regionInSet(0, 0)
+	r.Allocate(reg, RegionCI, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative line count did not panic")
+		}
+	}()
+	r.DecLineCount(reg)
+}
+
+func TestSetStateInvalidClears(t *testing.T) {
+	r := testRCA()
+	reg := regionInSet(2, 1)
+	r.Allocate(reg, RegionDD, 0)
+	r.SetState(reg, RegionInvalid)
+	if r.Probe(reg) != nil {
+		t.Error("SetState(I) did not remove the entry")
+	}
+	// No-op when absent.
+	r.SetState(regionInSet(2, 2), RegionCC)
+}
+
+func TestAllocateInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("allocating RegionInvalid did not panic")
+		}
+	}()
+	testRCA().Allocate(regionInSet(0, 0), RegionInvalid, 0)
+}
+
+func TestEvictionStats(t *testing.T) {
+	r := testRCA()
+	// Fill one set and overflow it repeatedly.
+	for i := uint64(0); i < 6; i++ {
+		reg := regionInSet(0, i)
+		r.Allocate(reg, RegionCI, 0)
+	}
+	if r.Stats.Evictions != 4 {
+		t.Errorf("evictions = %d, want 4", r.Stats.Evictions)
+	}
+	if got := r.Stats.EmptyEvictFraction(); got != 1.0 {
+		t.Errorf("empty fraction = %v, want 1.0", got)
+	}
+	if r.CountValid() != 2 {
+		t.Errorf("valid = %d", r.CountValid())
+	}
+}
+
+func TestForEachValid(t *testing.T) {
+	r := testRCA()
+	r.Allocate(regionInSet(0, 0), RegionCI, 0)
+	r.Allocate(regionInSet(1, 0), RegionDD, 1)
+	n := 0
+	r.ForEachValid(func(Entry) { n++ })
+	if n != 2 {
+		t.Errorf("ForEachValid visited %d", n)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	r := testRCA()
+	if r.Sets() != 4 || r.Assoc() != 2 || r.Entries() != 8 {
+		t.Errorf("geometry accessors: %d/%d/%d", r.Sets(), r.Assoc(), r.Entries())
+	}
+	if r.Geometry().RegionBytes != 512 {
+		t.Error("geometry lost")
+	}
+}

@@ -1,0 +1,190 @@
+// Package core implements the paper's contribution: Coarse-Grain Coherence
+// Tracking. It provides the seven-state region protocol (Table 1 and the
+// state-transition diagrams of Figures 3-5), the Region Coherence Array
+// (RCA) with line counting, self-invalidation and empty-region-first
+// replacement, and the storage-overhead model of Table 2.
+//
+// The package is pure state machinery: it has no notion of time. The timing
+// simulator (internal/sim) drives it and supplies snoop responses.
+package core
+
+import "fmt"
+
+// RegionState is the coarse-grain coherence state of one region, tracked by
+// a processor's Region Coherence Array.
+//
+// The first letter summarises the local processor's lines in the region
+// (Clean: unmodified copies only; Dirty: may have modified copies), the
+// second letter summarises all other processors' lines (Invalid: no cached
+// copies; Clean: unmodified only; Dirty: may have modified copies).
+type RegionState uint8
+
+const (
+	// RegionInvalid: the processor caches no lines of the region and knows
+	// nothing about other processors. Every request must be broadcast.
+	RegionInvalid RegionState = iota
+	// RegionCI (Clean-Invalid): local unmodified copies only; no other
+	// processor caches any line. Exclusive — no broadcasts needed.
+	RegionCI
+	// RegionCC (Clean-Clean): local unmodified; others unmodified. Shared
+	// reads can go direct; modifiable copies need a broadcast.
+	RegionCC
+	// RegionCD (Clean-Dirty): local unmodified; others may have modified
+	// copies. Broadcast needed.
+	RegionCD
+	// RegionDI (Dirty-Invalid): local may have modified copies; no other
+	// processor caches any line. Exclusive — no broadcasts needed.
+	RegionDI
+	// RegionDC (Dirty-Clean): local may be modified; others unmodified.
+	// Shared reads can go direct; modifiable copies need a broadcast.
+	RegionDC
+	// RegionDD (Dirty-Dirty): both sides may have modified copies.
+	// Broadcast needed.
+	RegionDD
+)
+
+// NRegionStates is the number of region states (for stats arrays).
+const NRegionStates = int(RegionDD) + 1
+
+// String names the state as in the paper.
+func (s RegionState) String() string {
+	switch s {
+	case RegionInvalid:
+		return "I"
+	case RegionCI:
+		return "CI"
+	case RegionCC:
+		return "CC"
+	case RegionCD:
+		return "CD"
+	case RegionDI:
+		return "DI"
+	case RegionDC:
+		return "DC"
+	case RegionDD:
+		return "DD"
+	default:
+		return fmt.Sprintf("RegionState(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether the region entry holds information.
+func (s RegionState) Valid() bool { return s != RegionInvalid }
+
+// LocalDirty reports whether the local processor may hold modified lines of
+// the region (the first letter is D).
+func (s RegionState) LocalDirty() bool {
+	return s == RegionDI || s == RegionDC || s == RegionDD
+}
+
+// ExtState is the external ("second letter") component of a region state.
+type ExtState uint8
+
+const (
+	// ExtInvalid: no other processor caches lines of the region.
+	ExtInvalid ExtState = iota
+	// ExtClean: other processors cache unmodified lines only.
+	ExtClean
+	// ExtDirty: other processors may cache modified lines.
+	ExtDirty
+)
+
+// External returns the external component of a valid region state.
+func (s RegionState) External() ExtState {
+	switch s {
+	case RegionCI, RegionDI:
+		return ExtInvalid
+	case RegionCC, RegionDC:
+		return ExtClean
+	case RegionCD, RegionDD:
+		return ExtDirty
+	default:
+		return ExtDirty // Invalid: unknown, treated as worst case
+	}
+}
+
+// Compose builds a region state from its two components.
+func Compose(localDirty bool, ext ExtState) RegionState {
+	switch ext {
+	case ExtInvalid:
+		if localDirty {
+			return RegionDI
+		}
+		return RegionCI
+	case ExtClean:
+		if localDirty {
+			return RegionDC
+		}
+		return RegionCC
+	default:
+		if localDirty {
+			return RegionDD
+		}
+		return RegionCD
+	}
+}
+
+// Exclusive reports whether the state guarantees no other processor caches
+// lines of the region (CI or DI): all requests may skip the broadcast.
+func (s RegionState) Exclusive() bool { return s == RegionCI || s == RegionDI }
+
+// ExternallyClean reports whether other processors hold only unmodified
+// copies (CC or DC): shared reads (e.g. instruction fetches) may skip the
+// broadcast because memory is up to date.
+func (s RegionState) ExternallyClean() bool { return s == RegionCC || s == RegionDC }
+
+// ExternallyDirty reports whether other processors may hold modified copies
+// (CD or DD): broadcasts are required to locate them.
+func (s RegionState) ExternallyDirty() bool { return s == RegionCD || s == RegionDD }
+
+// AllRegionStates lists the states in Table 1 order (I, CI, CC, CD, DI, DC,
+// DD) for table printing and exhaustive tests.
+var AllRegionStates = []RegionState{
+	RegionInvalid, RegionCI, RegionCC, RegionCD, RegionDI, RegionDC, RegionDD,
+}
+
+// Table1Row reproduces one row of the paper's Table 1.
+type Table1Row struct {
+	State           RegionState
+	Processor       string // local processor's copies
+	OtherProcessors string // other processors' copies
+	BroadcastNeeded string
+}
+
+// Table1 returns the paper's Table 1 (region states and their definitions).
+func Table1() []Table1Row {
+	desc := func(s RegionState) (loc, oth string) {
+		if s == RegionInvalid {
+			return "No Cached Copies", "Unknown"
+		}
+		if s.LocalDirty() {
+			loc = "May Have Modified Copies"
+		} else {
+			loc = "Unmodified Copies Only"
+		}
+		switch s.External() {
+		case ExtInvalid:
+			oth = "No Cached Copies"
+		case ExtClean:
+			oth = "Unmodified Copies Only"
+		default:
+			oth = "May Have Modified Copies"
+		}
+		return loc, oth
+	}
+	need := map[RegionState]string{
+		RegionInvalid: "Yes",
+		RegionCI:      "No",
+		RegionCC:      "For Modifiable Copy",
+		RegionCD:      "Yes",
+		RegionDI:      "No",
+		RegionDC:      "For Modifiable Copy",
+		RegionDD:      "Yes",
+	}
+	rows := make([]Table1Row, 0, len(AllRegionStates))
+	for _, s := range AllRegionStates {
+		loc, oth := desc(s)
+		rows = append(rows, Table1Row{State: s, Processor: loc, OtherProcessors: oth, BroadcastNeeded: need[s]})
+	}
+	return rows
+}

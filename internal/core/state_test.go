@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+func TestStateClasses(t *testing.T) {
+	if !RegionCI.Exclusive() || !RegionDI.Exclusive() {
+		t.Error("CI/DI must be exclusive")
+	}
+	if RegionCC.Exclusive() || RegionInvalid.Exclusive() {
+		t.Error("CC/I must not be exclusive")
+	}
+	if !RegionCC.ExternallyClean() || !RegionDC.ExternallyClean() {
+		t.Error("CC/DC must be externally clean")
+	}
+	if !RegionCD.ExternallyDirty() || !RegionDD.ExternallyDirty() {
+		t.Error("CD/DD must be externally dirty")
+	}
+	for _, s := range []RegionState{RegionDI, RegionDC, RegionDD} {
+		if !s.LocalDirty() {
+			t.Errorf("%v must be locally dirty", s)
+		}
+	}
+	for _, s := range []RegionState{RegionCI, RegionCC, RegionCD, RegionInvalid} {
+		if s.LocalDirty() {
+			t.Errorf("%v must not be locally dirty", s)
+		}
+	}
+}
+
+func TestComposeRoundTrip(t *testing.T) {
+	for _, dirty := range []bool{false, true} {
+		for _, ext := range []ExtState{ExtInvalid, ExtClean, ExtDirty} {
+			s := Compose(dirty, ext)
+			if !s.Valid() {
+				t.Fatalf("Compose(%v,%v) invalid", dirty, ext)
+			}
+			if s.LocalDirty() != dirty {
+				t.Errorf("Compose(%v,%v).LocalDirty() = %v", dirty, ext, s.LocalDirty())
+			}
+			if s.External() != ext {
+				t.Errorf("Compose(%v,%v).External() = %v", dirty, ext, s.External())
+			}
+		}
+	}
+}
+
+func TestInvalidExternalWorstCase(t *testing.T) {
+	if RegionInvalid.External() != ExtDirty {
+		t.Error("Invalid region must be treated as externally dirty (unknown)")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[RegionState]string{
+		RegionInvalid: "I", RegionCI: "CI", RegionCC: "CC", RegionCD: "CD",
+		RegionDI: "DI", RegionDC: "DC", RegionDD: "DD",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+// TestTable1 pins the protocol definition table to the paper's Table 1.
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	want := map[RegionState][3]string{
+		RegionInvalid: {"No Cached Copies", "Unknown", "Yes"},
+		RegionCI:      {"Unmodified Copies Only", "No Cached Copies", "No"},
+		RegionCC:      {"Unmodified Copies Only", "Unmodified Copies Only", "For Modifiable Copy"},
+		RegionCD:      {"Unmodified Copies Only", "May Have Modified Copies", "Yes"},
+		RegionDI:      {"May Have Modified Copies", "No Cached Copies", "No"},
+		RegionDC:      {"May Have Modified Copies", "Unmodified Copies Only", "For Modifiable Copy"},
+		RegionDD:      {"May Have Modified Copies", "May Have Modified Copies", "Yes"},
+	}
+	for _, r := range rows {
+		w := want[r.State]
+		if r.Processor != w[0] || r.OtherProcessors != w[1] || r.BroadcastNeeded != w[2] {
+			t.Errorf("Table1 row %v = %q/%q/%q, want %q/%q/%q",
+				r.State, r.Processor, r.OtherProcessors, r.BroadcastNeeded, w[0], w[1], w[2])
+		}
+	}
+	// Order matches the paper: I, CI, CC, CD, DI, DC, DD.
+	order := []RegionState{RegionInvalid, RegionCI, RegionCC, RegionCD, RegionDI, RegionDC, RegionDD}
+	for i, r := range rows {
+		if r.State != order[i] {
+			t.Errorf("row %d is %v, want %v", i, r.State, order[i])
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+)
+
+// StorageModel reproduces the storage-overhead arithmetic of Table 2 for
+// the paper's design point: a 40-bit physical address space and a 1 MB
+// 2-way set-associative cache with 64-byte lines (UltraSparc-IV-like).
+//
+// The per-set cache accounting follows §3.2: each line needs a physical
+// tag, three coherence-state bits and eight bytes of ECC; each set adds an
+// LRU bit and ECC over the tags and state.
+type StorageModel struct {
+	PhysAddrBits   uint
+	CacheSets      uint64
+	CacheAssoc     int
+	CacheLineBytes uint64
+	LineStateBits  uint
+	LineECCBits    uint // ECC per cache line (8 bytes in the paper)
+	CacheSetECC    uint // ECC over a set's tags+state (chosen to match Table 2)
+	RCAStateBits   uint
+	RCAMemCtrlBits uint
+}
+
+// DefaultStorageModel is the Table 2 design point.
+func DefaultStorageModel() StorageModel {
+	return StorageModel{
+		PhysAddrBits:   40,
+		CacheSets:      8192, // 1 MB / (64 B * 2 ways)
+		CacheAssoc:     2,
+		CacheLineBytes: 64,
+		LineStateBits:  3,
+		LineECCBits:    64, // 8 bytes per line
+		CacheSetECC:    9,
+		RCAStateBits:   3,
+		RCAMemCtrlBits: 6,
+	}
+}
+
+// CacheTagBits returns the physical-tag width of the cache.
+func (m StorageModel) CacheTagBits() uint {
+	return m.PhysAddrBits - addr.Log2(m.CacheLineBytes) - addr.Log2(m.CacheSets)
+}
+
+// CacheTagSetBits returns the tag-array bits per cache set (tags, state,
+// per-line ECC, LRU, set ECC). For the Table 2 design point this is 186
+// bits (the paper quotes "23 bytes per set").
+func (m StorageModel) CacheTagSetBits() uint64 {
+	perLine := uint64(m.CacheTagBits()) + uint64(m.LineStateBits) + uint64(m.LineECCBits)
+	return uint64(m.CacheAssoc)*perLine + 1 /*LRU*/ + uint64(m.CacheSetECC)
+}
+
+// CacheSetBits returns the total bits per cache set including data.
+func (m StorageModel) CacheSetBits() uint64 {
+	data := uint64(m.CacheAssoc) * m.CacheLineBytes * 8
+	return data + m.CacheTagSetBits()
+}
+
+// OverheadRow is one row of Table 2.
+type OverheadRow struct {
+	Entries     uint64 // total RCA entries
+	RegionBytes uint64
+	TagBits     uint // per RCA entry
+	StateBits   uint
+	LineCount   uint
+	MemCtrlBits uint
+	LRUBits     uint // per set
+	ECCBits     uint // per set
+	TotalBits   uint64
+	// TagSpaceOverhead is RCA bits as a fraction of the cache tag array.
+	TagSpaceOverhead float64
+	// CacheSpaceOverhead is RCA bits as a fraction of the whole cache.
+	CacheSpaceOverhead float64
+}
+
+// rcaSetECCBits follows the paper's Table 2, which budgets 9 ECC bits per
+// set for the 4K-entry arrays and 8 for the larger ones.
+func rcaSetECCBits(entries uint64) uint {
+	if entries <= 4096 {
+		return 9
+	}
+	return 8
+}
+
+// Overhead computes one Table 2 row for an RCA with the given entry count
+// (2-way set-associative, as evaluated in the paper) and region size.
+func (m StorageModel) Overhead(entries, regionBytes uint64) (OverheadRow, error) {
+	if !addr.IsPow2(entries) || !addr.IsPow2(regionBytes) {
+		return OverheadRow{}, fmt.Errorf("core: entries and region size must be powers of two")
+	}
+	const assoc = 2
+	sets := entries / assoc
+	if sets == 0 {
+		return OverheadRow{}, fmt.Errorf("core: too few entries (%d) for 2-way RCA", entries)
+	}
+	linesPerRegion := regionBytes / m.CacheLineBytes
+	if linesPerRegion == 0 {
+		return OverheadRow{}, fmt.Errorf("core: region %d smaller than a line", regionBytes)
+	}
+	row := OverheadRow{
+		Entries:     entries,
+		RegionBytes: regionBytes,
+		TagBits:     m.PhysAddrBits - addr.Log2(regionBytes) - addr.Log2(sets),
+		StateBits:   m.RCAStateBits,
+		// The line count must reach linesPerRegion inclusive.
+		LineCount:   addr.Log2(linesPerRegion) + 1,
+		MemCtrlBits: m.RCAMemCtrlBits,
+		LRUBits:     1,
+		ECCBits:     rcaSetECCBits(entries),
+	}
+	perEntry := uint64(row.TagBits + row.StateBits + row.LineCount + row.MemCtrlBits)
+	row.TotalBits = assoc*perEntry + uint64(row.LRUBits) + uint64(row.ECCBits)
+	rcaBits := sets * row.TotalBits
+	row.TagSpaceOverhead = float64(rcaBits) / float64(m.CacheSets*m.CacheTagSetBits())
+	row.CacheSpaceOverhead = float64(rcaBits) / float64(m.CacheSets*m.CacheSetBits())
+	return row, nil
+}
+
+// Table2 computes all nine rows of the paper's Table 2 (4K/8K/16K entries x
+// 256 B/512 B/1 KB regions).
+func (m StorageModel) Table2() []OverheadRow {
+	var rows []OverheadRow
+	for _, entries := range []uint64{4096, 8192, 16384} {
+		for _, region := range []uint64{256, 512, 1024} {
+			row, err := m.Overhead(entries, region)
+			if err != nil {
+				panic(err) // fixed inputs; cannot fail
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

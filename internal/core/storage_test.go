@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable2Golden pins the storage-overhead model to the paper's Table 2,
+// bit for bit and percentage for percentage.
+func TestTable2Golden(t *testing.T) {
+	type want struct {
+		tag, count, ecc uint
+		total           uint64
+		tagOvh, cacheOv float64 // percent
+	}
+	wants := map[[2]uint64]want{
+		{4096, 256}:   {21, 3, 9, 76, 10.2, 1.6},
+		{4096, 512}:   {20, 4, 9, 76, 10.2, 1.6},
+		{4096, 1024}:  {19, 5, 9, 76, 10.2, 1.6},
+		{8192, 256}:   {20, 3, 8, 73, 19.6, 3.0},
+		{8192, 512}:   {19, 4, 8, 73, 19.6, 3.0},
+		{8192, 1024}:  {18, 5, 8, 73, 19.6, 3.0},
+		{16384, 256}:  {19, 3, 8, 71, 38.2, 5.9},
+		{16384, 512}:  {18, 4, 8, 71, 38.2, 5.9},
+		{16384, 1024}: {17, 5, 8, 71, 38.2, 5.9},
+	}
+	rows := DefaultStorageModel().Table2()
+	if len(rows) != 9 {
+		t.Fatalf("Table2 has %d rows", len(rows))
+	}
+	for _, r := range rows {
+		w, ok := wants[[2]uint64{r.Entries, r.RegionBytes}]
+		if !ok {
+			t.Errorf("unexpected row %d/%d", r.Entries, r.RegionBytes)
+			continue
+		}
+		if r.TagBits != w.tag {
+			t.Errorf("%d/%dB tag = %d, want %d", r.Entries, r.RegionBytes, r.TagBits, w.tag)
+		}
+		if r.LineCount != w.count {
+			t.Errorf("%d/%dB count bits = %d, want %d", r.Entries, r.RegionBytes, r.LineCount, w.count)
+		}
+		if r.ECCBits != w.ecc {
+			t.Errorf("%d/%dB ECC = %d, want %d", r.Entries, r.RegionBytes, r.ECCBits, w.ecc)
+		}
+		if r.TotalBits != w.total {
+			t.Errorf("%d/%dB total = %d, want %d", r.Entries, r.RegionBytes, r.TotalBits, w.total)
+		}
+		if got := math.Round(1000*r.TagSpaceOverhead) / 10; got != w.tagOvh {
+			t.Errorf("%d/%dB tag overhead = %.1f%%, want %.1f%%", r.Entries, r.RegionBytes, got, w.tagOvh)
+		}
+		if got := math.Round(1000*r.CacheSpaceOverhead) / 10; got != w.cacheOv {
+			t.Errorf("%d/%dB cache overhead = %.1f%%, want %.1f%%", r.Entries, r.RegionBytes, got, w.cacheOv)
+		}
+		if r.StateBits != 3 || r.MemCtrlBits != 6 || r.LRUBits != 1 {
+			t.Errorf("%d/%dB fixed fields wrong: %+v", r.Entries, r.RegionBytes, r)
+		}
+	}
+}
+
+func TestCacheTagGeometry(t *testing.T) {
+	m := DefaultStorageModel()
+	// §3.2: 1MB 2-way 64B-line cache with 40-bit addresses -> 21-bit tags.
+	if m.CacheTagBits() != 21 {
+		t.Errorf("cache tag bits = %d, want 21", m.CacheTagBits())
+	}
+	// The paper quotes ~23 bytes per set for the tag array.
+	if bits := m.CacheTagSetBits(); bits < 180 || bits > 190 {
+		t.Errorf("cache tag set bits = %d, want ~184-186 (23 bytes)", bits)
+	}
+}
+
+func TestOverheadValidation(t *testing.T) {
+	m := DefaultStorageModel()
+	if _, err := m.Overhead(1000, 512); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := m.Overhead(4096, 500); err == nil {
+		t.Error("non-power-of-two region accepted")
+	}
+	if _, err := m.Overhead(4096, 32); err == nil {
+		t.Error("region smaller than a line accepted")
+	}
+	if _, err := m.Overhead(1, 512); err == nil {
+		t.Error("too-few entries accepted")
+	}
+}
+
+func TestOverheadScalesDown(t *testing.T) {
+	m := DefaultStorageModel()
+	full, _ := m.Overhead(16384, 512)
+	half, _ := m.Overhead(8192, 512)
+	// §3.2: halving the entries nearly halves the overhead (5.9% -> 3.0%).
+	ratio := half.CacheSpaceOverhead / full.CacheSpaceOverhead
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("half/full overhead ratio = %.2f", ratio)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"cgct/internal/coherence"
+)
+
+func TestVariantNames(t *testing.T) {
+	if (SevenState{}).Name() != "7-state" || (ThreeState{}).Name() != "3-state" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestSevenStateDelegates(t *testing.T) {
+	v := SevenState{}
+	for _, s := range AllRegionStates {
+		for k := 0; k < coherence.NKinds; k++ {
+			kind := coherence.ReqKind(k)
+			if v.Route(s, kind) != RouteFor(s, kind) {
+				t.Fatalf("SevenState.Route(%v,%v) diverged", s, kind)
+			}
+		}
+	}
+	resp := coherence.SnoopResponse{RegionClean: true}
+	if v.AfterBroadcast(RegionInvalid, coherence.ReqRead, false, resp) !=
+		AfterBroadcast(RegionInvalid, coherence.ReqRead, false, resp) {
+		t.Error("AfterBroadcast diverged")
+	}
+	if v.AfterDirect(RegionCI, coherence.ReqRead, true) != AfterDirect(RegionCI, coherence.ReqRead, true) {
+		t.Error("AfterDirect diverged")
+	}
+	a1, o1 := v.AfterExternal(RegionDI, coherence.ReqRead, false, 1)
+	a2, o2 := AfterExternal(RegionDI, coherence.ReqRead, false, 1)
+	if a1 != a2 || o1 != o2 {
+		t.Error("AfterExternal diverged")
+	}
+}
+
+func TestThreeStateRouting(t *testing.T) {
+	v := ThreeState{}
+	// Invalid: everything broadcasts (write-backs too, lacking an entry).
+	if v.Route(RegionInvalid, coherence.ReqRead) != RouteBroadcast {
+		t.Error("invalid read should broadcast")
+	}
+	if v.Route(RegionInvalid, coherence.ReqWriteback) != RouteBroadcast {
+		t.Error("invalid write-back should broadcast")
+	}
+	// Exclusive: same privileges as the full protocol.
+	if v.Route(RegionDI, coherence.ReqRead) != RouteDirect {
+		t.Error("exclusive read should go direct")
+	}
+	if v.Route(RegionDI, coherence.ReqUpgrade) != RouteLocal {
+		t.Error("exclusive upgrade should complete locally")
+	}
+	if v.Route(RegionDI, coherence.ReqDCBZ) != RouteLocal {
+		t.Error("exclusive DCBZ should complete locally")
+	}
+	// Not-exclusive: the variant is blind to clean/dirty, so even
+	// instruction fetches broadcast — the key capability it gives up.
+	if v.Route(RegionDD, coherence.ReqIFetch) != RouteBroadcast {
+		t.Error("3-state must broadcast ifetches in non-exclusive regions")
+	}
+	if (SevenState{}).Route(RegionDC, coherence.ReqIFetch) != RouteDirect {
+		t.Error("(sanity) 7-state sends ifetches direct in DC")
+	}
+	// Write-backs still ride the stored controller ID.
+	if v.Route(RegionDD, coherence.ReqWriteback) != RouteDirect {
+		t.Error("valid-region write-back should go direct")
+	}
+}
+
+func TestThreeStateTransitions(t *testing.T) {
+	v := ThreeState{}
+	// The single response bit is the OR of the two 7-state bits.
+	if got := v.AfterBroadcast(RegionInvalid, coherence.ReqRead, true, coherence.SnoopResponse{}); got != RegionDI {
+		t.Errorf("empty response = %v, want exclusive (DI)", got)
+	}
+	for _, resp := range []coherence.SnoopResponse{
+		{RegionClean: true}, {RegionDirty: true}, {RegionClean: true, RegionDirty: true},
+	} {
+		if got := v.AfterBroadcast(RegionInvalid, coherence.ReqRead, false, resp); got != RegionDD {
+			t.Errorf("cached response %+v = %v, want not-exclusive (DD)", resp, got)
+		}
+	}
+	// Write-backs change nothing.
+	if got := v.AfterBroadcast(RegionDI, coherence.ReqWriteback, false, coherence.SnoopResponse{RegionDirty: true}); got != RegionDI {
+		t.Errorf("write-back changed 3-state region: %v", got)
+	}
+	// Direct requests cannot change the state.
+	if got := v.AfterDirect(RegionDI, coherence.ReqReadExcl, true); got != RegionDI {
+		t.Errorf("direct request changed 3-state region: %v", got)
+	}
+	// External requests force not-exclusive...
+	if got, o := v.AfterExternal(RegionDI, coherence.ReqRead, false, 2); got != RegionDD || o != ExtKept {
+		t.Errorf("external read = %v/%v", got, o)
+	}
+	// ...or self-invalidate empty regions.
+	if got, o := v.AfterExternal(RegionDI, coherence.ReqRead, false, 0); got != RegionInvalid || o != ExtSelfInvalidated {
+		t.Errorf("empty region = %v/%v", got, o)
+	}
+	// External write-backs carry no information.
+	if got, o := v.AfterExternal(RegionDI, coherence.ReqWriteback, false, 0); got != RegionDI || o != ExtKept {
+		t.Errorf("external write-back = %v/%v", got, o)
+	}
+}
+
+func TestThreeStateDirectPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("3-state AfterDirect from Invalid did not panic")
+		}
+	}()
+	(ThreeState{}).AfterDirect(RegionInvalid, coherence.ReqRead, false)
+}

@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"testing"
+
+	"cgct/internal/coherence"
+	"cgct/internal/stats"
+)
+
+func TestComputeComponents(t *testing.T) {
+	p := Default()
+	var run stats.Run
+	run.Broadcasts[coherence.ReqRead] = 10
+	run.Directs[coherence.ReqRead] = 5
+	run.SnoopTagLookups = 30
+	run.SnoopTagFiltered = 10
+	run.DRAMReads = 4
+	run.DRAMWrites = 1
+	run.DataTransfers = 8
+	run.RCAHits = 12
+	run.RCAMisses = 3
+
+	b := Compute(&run, 4, p)
+	if want := 10*p.BroadcastHop*3 + 5*p.DirectRequest; b.Network != want {
+		t.Errorf("network = %v, want %v", b.Network, want)
+	}
+	if want := 30 * p.TagLookup; b.TagProbes != want {
+		t.Errorf("tag probes = %v, want %v", b.TagProbes, want)
+	}
+	if want := 5 * p.DRAMAccess; b.DRAM != want {
+		t.Errorf("DRAM = %v, want %v", b.DRAM, want)
+	}
+	if want := 8 * p.DataTransfer; b.Transfers != want {
+		t.Errorf("transfers = %v, want %v", b.Transfers, want)
+	}
+	if want := (12 + 3 + 30 + 10) * p.RegionLookup; b.Region != want {
+		t.Errorf("region = %v, want %v", b.Region, want)
+	}
+	sum := b.Network + b.TagProbes + b.DRAM + b.Transfers + b.Region
+	if b.Total != sum {
+		t.Errorf("total = %v, want %v", b.Total, sum)
+	}
+}
+
+func TestDirectoryOverheadCharged(t *testing.T) {
+	var run stats.Run
+	run.DirMessages = 100
+	b := Compute(&run, 4, Default())
+	if b.Region == 0 || b.Network == 0 {
+		t.Errorf("directory energy uncharged: %+v", b)
+	}
+}
+
+func TestSavingsPct(t *testing.T) {
+	a := Breakdown{Total: 200}
+	b := Breakdown{Total: 150}
+	if got := SavingsPct(a, b); got != 25 {
+		t.Errorf("savings = %v", got)
+	}
+	if SavingsPct(Breakdown{}, b) != 0 {
+		t.Error("zero baseline should give 0")
+	}
+}
+
+func TestSingleProcessorHops(t *testing.T) {
+	var run stats.Run
+	run.Broadcasts[coherence.ReqRead] = 10
+	b := Compute(&run, 1, Default())
+	if b.Network <= 0 {
+		t.Error("hop count floor failed")
+	}
+}

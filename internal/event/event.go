@@ -1,0 +1,139 @@
+// Package event implements the discrete-event engine of the simulator: a
+// cycle clock and a binary-heap event queue with deterministic FIFO
+// tie-breaking.
+//
+// All times are CPU cycles. The queue is single-threaded by design — the
+// whole timing simulation is deterministic and runs on one goroutine; the
+// benchmark harness parallelises across *runs*, not within a run.
+package event
+
+// Cycle is a point in simulated time, in CPU cycles.
+type Cycle uint64
+
+// Func is a scheduled action. It runs exactly once at its scheduled cycle.
+type Func func(now Cycle)
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Func
+}
+
+// Queue is a time-ordered event queue. The zero value is ready to use.
+type Queue struct {
+	heap []item
+	seq  uint64
+	now  Cycle
+}
+
+// Now returns the current simulated time (the time of the last event run,
+// or the last Advance).
+func (q *Queue) Now() Cycle { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn at absolute cycle at. Scheduling in the past schedules at
+// the current time instead (the event still runs strictly after the current
+// event completes, preserving run-to-completion semantics).
+func (q *Queue) At(at Cycle, fn Func) {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	q.heap = append(q.heap, item{at: at, seq: q.seq, fn: fn})
+	q.up(len(q.heap) - 1)
+}
+
+// After schedules fn delta cycles from now.
+func (q *Queue) After(delta Cycle, fn Func) { q.At(q.now+delta, fn) }
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false if the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	top := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	q.now = top.at
+	top.fn(q.now)
+	return true
+}
+
+// RunUntil runs events until the queue is empty or the next event is after
+// limit. It returns the number of events executed.
+func (q *Queue) RunUntil(limit Cycle) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].at <= limit {
+		q.Step()
+		n++
+	}
+	if q.now < limit && len(q.heap) == 0 {
+		q.now = limit
+	}
+	return n
+}
+
+// Run drains the queue completely, returning the number of events executed.
+func (q *Queue) Run() int {
+	n := 0
+	for q.Step() {
+		n++
+	}
+	return n
+}
+
+// PeekTime returns the time of the earliest pending event; ok is false when
+// the queue is empty.
+func (q *Queue) PeekTime() (at Cycle, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+// less orders by time then by insertion sequence, giving deterministic FIFO
+// behaviour for events scheduled at the same cycle.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+}

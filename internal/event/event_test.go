@@ -1,0 +1,151 @@
+package event
+
+import (
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func(Cycle) { got = append(got, 3) })
+	q.At(10, func(Cycle) { got = append(got, 1) })
+	q.At(20, func(Cycle) { got = append(got, 2) })
+	q.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %d, want 30", q.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(5, func(Cycle) { got = append(got, i) })
+	}
+	q.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events not FIFO at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var q Queue
+	var at Cycle
+	q.At(100, func(now Cycle) {
+		q.At(50, func(now2 Cycle) { at = now2 }) // in the past
+	})
+	q.Run()
+	if at != 100 {
+		t.Errorf("past event ran at %d, want clamped to 100", at)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	var q Queue
+	var at Cycle
+	q.At(10, func(now Cycle) {
+		q.After(5, func(now2 Cycle) { at = now2 })
+	})
+	q.Run()
+	if at != 15 {
+		t.Errorf("After event ran at %d, want 15", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	count := 0
+	for _, c := range []Cycle{5, 10, 15, 20} {
+		q.At(c, func(Cycle) { count++ })
+	}
+	n := q.RunUntil(12)
+	if n != 2 || count != 2 {
+		t.Fatalf("RunUntil ran %d events (count %d), want 2", n, count)
+	}
+	if q.Len() != 2 {
+		t.Errorf("pending = %d, want 2", q.Len())
+	}
+	// Time does not jump past pending events.
+	if q.Now() != 10 {
+		t.Errorf("Now = %d, want 10", q.Now())
+	}
+	q.Run()
+	if count != 4 {
+		t.Errorf("final count = %d", count)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	var q Queue
+	q.RunUntil(500)
+	if q.Now() != 500 {
+		t.Errorf("Now = %d, want 500 on empty queue", q.Now())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Error("PeekTime on empty queue returned ok")
+	}
+	q.At(42, func(Cycle) {})
+	if at, ok := q.PeekTime(); !ok || at != 42 {
+		t.Errorf("PeekTime = %d,%v", at, ok)
+	}
+}
+
+func TestCascade(t *testing.T) {
+	// Events scheduling events: a chain of 1000.
+	var q Queue
+	count := 0
+	var chain func(now Cycle)
+	chain = func(now Cycle) {
+		count++
+		if count < 1000 {
+			q.After(1, chain)
+		}
+	}
+	q.At(0, chain)
+	q.Run()
+	if count != 1000 {
+		t.Errorf("chain ran %d times", count)
+	}
+	if q.Now() != 999 {
+		t.Errorf("Now = %d, want 999", q.Now())
+	}
+}
+
+func TestInterleavedHeapStress(t *testing.T) {
+	// Pseudo-random schedule exercising heap up/down paths.
+	var q Queue
+	seed := uint64(12345)
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	var last Cycle
+	ok := true
+	for i := 0; i < 500; i++ {
+		q.At(Cycle(next()%10000), func(now Cycle) {
+			if now < last {
+				ok = false
+			}
+			last = now
+			if now%3 == 0 {
+				q.After(Cycle(next()%100), func(Cycle) {})
+			}
+		})
+	}
+	q.Run()
+	if !ok {
+		t.Error("events ran out of time order")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import "cgct"
+
+// AblationRow compares the full seven-state protocol against the §3.4
+// scaled-back three-state variant, and measures the §6 prefetch-filter
+// extension, all at 512 B regions.
+type AblationRow struct {
+	Benchmark string
+	// Run-time reduction over the baseline, %.
+	Full, Scaled, FullWithFilter, FullWithRegionPf float64
+	// Fraction of requests kept off the broadcast network, %.
+	FullAvoided, ScaledAvoided float64
+}
+
+// Ablation runs the design-choice study: how much of CGCT's benefit
+// survives with one response bit instead of two, and what the
+// region-guided prefetch filter adds.
+func Ablation(p Params) []AblationRow {
+	p = p.withDefaults()
+	r := newRunner(p)
+	const region = 512
+
+	// The scaled-back and filtered configurations are not part of the
+	// shared runKey space (they would collide with the full-protocol
+	// runs), so run them directly.
+	type res = cgct.Result
+	runVariant := func(b string, seed uint64, scaled, filter, regionPf bool) *res {
+		out, err := cgct.Run(b, cgct.Options{
+			OpsPerProc:           p.OpsPerProc,
+			Seed:                 seed,
+			CGCT:                 true,
+			RegionBytes:          region,
+			ScaledBack:           scaled,
+			PrefetchRegionFilter: filter,
+			RegionPrefetch:       regionPf,
+			PerturbCycles:        40,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+
+	var keys []runKey
+	for _, b := range p.sortedBenchmarks() {
+		for _, s := range p.Seeds {
+			keys = append(keys,
+				runKey{bench: b, seed: s},
+				runKey{bench: b, seed: s, cgctOn: true, region: region})
+		}
+	}
+	r.prefetchAll(keys)
+
+	var rows []AblationRow
+	for _, b := range p.sortedBenchmarks() {
+		var full, scaled, filtered, regionPf, fullAv, scaledAv []float64
+		for _, s := range p.Seeds {
+			base := r.get(runKey{bench: b, seed: s})
+			f := r.get(runKey{bench: b, seed: s, cgctOn: true, region: region})
+			sc := runVariant(b, s, true, false, false)
+			fl := runVariant(b, s, false, true, false)
+			rp := runVariant(b, s, false, false, true)
+			red := func(c uint64) float64 {
+				return 100 * (float64(base.Cycles) - float64(c)) / float64(base.Cycles)
+			}
+			full = append(full, red(f.Cycles))
+			scaled = append(scaled, red(sc.Cycles))
+			filtered = append(filtered, red(fl.Cycles))
+			regionPf = append(regionPf, red(rp.Cycles))
+			fullAv = append(fullAv, 100*f.AvoidedFraction())
+			scaledAv = append(scaledAv, 100*sc.AvoidedFraction())
+		}
+		rows = append(rows, AblationRow{
+			Benchmark:        b,
+			Full:             mean(full),
+			Scaled:           mean(scaled),
+			FullWithFilter:   mean(filtered),
+			FullWithRegionPf: mean(regionPf),
+			FullAvoided:      mean(fullAv),
+			ScaledAvoided:    mean(scaledAv),
+		})
+	}
+	return rows
+}

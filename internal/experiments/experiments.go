@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each Figure*/Table* function runs the required simulations
+// (in parallel across independent runs) and returns printable rows; the
+// cmd/cgctexperiments binary and the repository benchmarks drive them.
+//
+// The harness is built on the public cgct API, exercising the library the
+// way a downstream user would.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cgct"
+)
+
+// Params tunes experiment cost. Zero values select the defaults used for
+// EXPERIMENTS.md (400K ops per processor, 3 seeds).
+type Params struct {
+	OpsPerProc int
+	Seeds      []uint64
+	Benchmarks []string
+	Parallel   int // concurrent simulations (default: GOMAXPROCS)
+}
+
+func (p Params) withDefaults() Params {
+	if p.OpsPerProc == 0 {
+		p.OpsPerProc = 400_000
+	}
+	if len(p.Seeds) == 0 {
+		p.Seeds = []uint64{1, 2, 3}
+	}
+	if len(p.Benchmarks) == 0 {
+		p.Benchmarks = cgct.PaperBenchmarks()
+	}
+	if p.Parallel <= 0 {
+		p.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// runKey identifies one simulation in the result cache.
+type runKey struct {
+	bench   string
+	cgctOn  bool
+	region  uint64
+	rcaSets uint64
+	seed    uint64
+}
+
+// runner executes and caches simulation runs, fanning independent runs out
+// over a worker pool.
+type runner struct {
+	p     Params
+	mu    sync.Mutex
+	cache map[runKey]*cgct.Result
+	sem   chan struct{}
+}
+
+func newRunner(p Params) *runner {
+	return &runner{
+		p:     p,
+		cache: make(map[runKey]*cgct.Result),
+		sem:   make(chan struct{}, p.Parallel),
+	}
+}
+
+// get runs (or fetches) one simulation.
+func (r *runner) get(k runKey) *cgct.Result {
+	r.mu.Lock()
+	if res, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	// Re-check after acquiring a slot (another worker may have finished it).
+	r.mu.Lock()
+	if res, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+	res, err := cgct.Run(k.bench, cgct.Options{
+		OpsPerProc:    r.p.OpsPerProc,
+		Seed:          k.seed,
+		CGCT:          k.cgctOn,
+		RegionBytes:   k.region,
+		RCASets:       k.rcaSets,
+		PerturbCycles: 40, // Alameldeen-style perturbation for CIs
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // static inputs; cannot fail
+	}
+	r.mu.Lock()
+	r.cache[k] = res
+	r.mu.Unlock()
+	return res
+}
+
+// prefetchAll warms the cache for a set of keys concurrently.
+func (r *runner) prefetchAll(keys []runKey) {
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k runKey) {
+			defer wg.Done()
+			r.get(k)
+		}(k)
+	}
+	wg.Wait()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// ci95 returns the half-width of the 95% confidence interval.
+func ci95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	sd := ss / float64(n-1)
+	// Student-t two-sided 95% for small df.
+	t := []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228}
+	tv := 1.96
+	if n-1 < len(t) {
+		tv = t[n-1]
+	}
+	return tv * sqrt(sd/float64(n))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iteration; avoids importing math for one call and keeps the
+	// package dependency-free. Converges in a handful of steps.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// sortedBenchmarks returns the benchmark list in canonical order.
+func (p Params) sortedBenchmarks() []string {
+	out := append([]string(nil), p.Benchmarks...)
+	canonical := map[string]int{}
+	for i, b := range cgct.Benchmarks() {
+		canonical[b.Name] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return canonical[out[i]] < canonical[out[j]]
+	})
+	return out
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickParams keeps experiment tests fast: two benchmarks, tiny traces.
+func quickParams() Params {
+	return Params{
+		OpsPerProc: 8_000,
+		Seeds:      []uint64{1, 2},
+		Benchmarks: []string{"ocean", "tpc-h"},
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("Table 1 rows = %d", len(rows))
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 9 {
+		t.Fatalf("Table 2 rows = %d", len(rows))
+	}
+	// Headline numbers: 16K entries, 5.9% cache overhead.
+	last := rows[len(rows)-1]
+	if last.Entries != 16384 || math.Abs(100*last.CacheSpaceOverhead-5.9) > 0.05 {
+		t.Errorf("16K-entry overhead = %.2f%%, want 5.9%%", 100*last.CacheSpaceOverhead)
+	}
+}
+
+// TestFigure6Golden pins the latency model to the paper's Figure 6 totals
+// within one system cycle.
+func TestFigure6Golden(t *testing.T) {
+	for _, r := range Figure6() {
+		if r.PaperSys == 0 {
+			continue
+		}
+		if math.Abs(r.SysCycles-r.PaperSys) > 1.2 {
+			t.Errorf("%s: model %.1f vs paper %.0f system cycles", r.Scenario, r.SysCycles, r.PaperSys)
+		}
+	}
+	// Direct access must beat snooping for every distance pair.
+	rows := Figure6()
+	for i := 0; i+1 < len(rows); i += 2 {
+		if rows[i+1].SysCycles >= rows[i].SysCycles {
+			t.Errorf("direct (%s) not faster than snoop (%s)", rows[i+1].Scenario, rows[i].Scenario)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	rows := Figure2(quickParams())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		sum := r.DataPct + r.WBPct + r.IFetchPct + r.DCBPct
+		if math.Abs(sum-r.TotalPct) > 0.01 {
+			t.Errorf("%s: categories sum to %.2f, total %.2f", r.Benchmark, sum, r.TotalPct)
+		}
+		if r.TotalPct <= 0 || r.TotalPct > 100 {
+			t.Errorf("%s: total %.2f out of range", r.Benchmark, r.TotalPct)
+		}
+	}
+	// Ocean (mostly private) has far more opportunity than TPC-H (merge
+	// phase cache-to-cache) — the paper's key per-benchmark contrast.
+	if rows[0].TotalPct <= rows[1].TotalPct {
+		t.Errorf("ocean (%.1f%%) should exceed tpc-h (%.1f%%)", rows[0].TotalPct, rows[1].TotalPct)
+	}
+	if avg := Figure2Average(rows); avg <= 0 {
+		t.Errorf("average = %v", avg)
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	rows := Figure7(quickParams())
+	for _, r := range rows {
+		for _, rb := range RegionSizes {
+			if r.Avoided[rb] < 0 || r.Avoided[rb] > 100 {
+				t.Errorf("%s/%dB avoided = %.1f", r.Benchmark, rb, r.Avoided[rb])
+			}
+			if r.AvoidedWB[rb] > r.Avoided[rb] {
+				t.Errorf("%s/%dB write-back share exceeds total", r.Benchmark, rb)
+			}
+		}
+	}
+}
+
+func TestFigure8And9And10(t *testing.T) {
+	p := quickParams()
+	rows8 := Figure8(p)
+	for _, r := range rows8 {
+		for _, rb := range RegionSizes {
+			if r.Reduction[rb].Mean < -5 {
+				t.Errorf("%s/%dB: CGCT slowdown %.1f%%", r.Benchmark, rb, r.Reduction[rb].Mean)
+			}
+		}
+	}
+	overall, commercial := Figure8Averages(rows8, 512)
+	if overall == 0 && commercial == 0 {
+		t.Error("averages empty")
+	}
+
+	rows9 := Figure9(p)
+	for _, r := range rows9 {
+		if math.Abs(r.Full.Mean-r.Half.Mean) > 10 {
+			t.Errorf("%s: half-size RCA diverged by %.1f points", r.Benchmark, r.Full.Mean-r.Half.Mean)
+		}
+	}
+
+	rows10 := Figure10(p)
+	for _, r := range rows10 {
+		if r.CGCTAvg >= r.BaseAvg {
+			t.Errorf("%s: CGCT average traffic not reduced (%.0f vs %.0f)", r.Benchmark, r.CGCTAvg, r.BaseAvg)
+		}
+		if r.AvgRatio <= 0 || r.AvgRatio >= 1 {
+			t.Errorf("%s: traffic ratio %.2f", r.Benchmark, r.AvgRatio)
+		}
+	}
+}
+
+func TestEvictions(t *testing.T) {
+	rows := Evictions(quickParams())
+	for _, r := range rows {
+		if r.EmptyPct < 0 || r.EmptyPct > 100 {
+			t.Errorf("%s: empty evictions %.1f%%", r.Benchmark, r.EmptyPct)
+		}
+		if r.RCAHitRatio <= 0 {
+			t.Errorf("%s: RCA never hit", r.Benchmark)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render([]string{"a", "long-header"}, [][]string{{"xxxxx", "1"}, {"y", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "long-header") || !strings.Contains(lines[2], "xxxxx") {
+		t.Errorf("render output:\n%s", out)
+	}
+	// All rows aligned to the same width.
+	if len(lines[1]) < len("a")+2+len("long-header") {
+		t.Error("separator too short")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	p := Params{OpsPerProc: 3_000, Seeds: []uint64{1}, Benchmarks: []string{"ocean"}}.withDefaults()
+	r := newRunner(p)
+	k := runKey{bench: "ocean", seed: 1}
+	a := r.get(k)
+	b := r.get(k)
+	if a != b {
+		t.Error("runner did not cache")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, c := range []struct{ in, want float64 }{{4, 2}, {9, 3}, {2, 1.41421356}, {0, 0}, {-1, 0}} {
+		if got := sqrt(c.in); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("sqrt(%v) = %v", c.in, got)
+		}
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if ci95([]float64{5}) != 0 {
+		t.Error("single sample CI should be 0")
+	}
+	ci := ci95([]float64{4, 6})
+	if math.Abs(ci-12.706) > 0.01 {
+		t.Errorf("two-sample CI = %v", ci)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows := Ablation(Params{
+		OpsPerProc: 6_000,
+		Seeds:      []uint64{1},
+		Benchmarks: []string{"tpc-w"},
+	})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Scaled > r.Full+1 {
+		t.Errorf("scaled-back (%.1f%%) should not beat the full protocol (%.1f%%)", r.Scaled, r.Full)
+	}
+	if r.ScaledAvoided >= r.FullAvoided {
+		t.Errorf("scaled-back avoided more (%.1f%% vs %.1f%%)", r.ScaledAvoided, r.FullAvoided)
+	}
+}
+
+func TestFabric(t *testing.T) {
+	rows := Fabric(Params{
+		OpsPerProc: 5_000,
+		Seeds:      []uint64{1},
+		Benchmarks: []string{"barnes"},
+	}, []int{4})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.DirThreeHops == 0 {
+		t.Error("directory produced no three-hop transfers on barnes")
+	}
+	if r.DirMessages == 0 || r.BaseBroadcasts == 0 {
+		t.Error("message counts empty")
+	}
+	if r.CGCTBroadcasts >= r.BaseBroadcasts {
+		t.Error("CGCT did not cut broadcasts")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	rows := Energy(Params{
+		OpsPerProc: 6_000,
+		Seeds:      []uint64{1},
+		Benchmarks: []string{"tpc-w"},
+	})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.SavingsPct <= 0 {
+		t.Errorf("CGCT should save energy: %.2f%%", r.SavingsPct)
+	}
+	if r.NetworkSaved <= 0 || r.TagProbesSaved <= 0 {
+		t.Errorf("component savings missing: %+v", r)
+	}
+	if r.RegionOverhead <= 0 {
+		t.Error("the RCA's own lookups must cost something")
+	}
+	if r.OverheadShare <= 0 || r.OverheadShare >= 1 {
+		t.Errorf("overhead share = %.2f, want in (0,1)", r.OverheadShare)
+	}
+}
+
+func TestSectoring(t *testing.T) {
+	rows := Sectoring(Params{
+		OpsPerProc: 6_000,
+		Seeds:      []uint64{1},
+		Benchmarks: []string{"specweb99"},
+	})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Sector512 <= r.Baseline {
+		t.Errorf("sectoring should raise the miss ratio (%.4f vs %.4f)", r.Sector512, r.Baseline)
+	}
+	if r.Sector1K < r.Sector512 {
+		t.Errorf("coarser sectors should fragment more (%.4f vs %.4f)", r.Sector1K, r.Sector512)
+	}
+	if r.CGCTPct > r.Sector512Pct {
+		t.Error("CGCT should perturb the miss ratio less than sectoring")
+	}
+}

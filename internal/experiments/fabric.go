@@ -1,0 +1,81 @@
+package experiments
+
+import "cgct"
+
+// FabricRow compares the three coherence fabrics on one benchmark: the
+// snooping baseline, CGCT (512 B regions), and a full-map directory — the
+// comparison the paper's introduction frames ("much of the benefit of a
+// directory-based system ... without the disadvantage of three-hop
+// cache-to-cache transfers").
+type FabricRow struct {
+	Benchmark  string
+	Processors int
+	// Run-time reduction over the snooping baseline, %.
+	CGCT, Scout, Directory float64
+	// Cache-to-cache transfers: two-hop under snooping/CGCT, three-hop
+	// under the directory.
+	CGCTC2C, DirThreeHops uint64
+	// Address-fabric load: broadcasts (snooping) vs point-to-point
+	// messages (directory).
+	BaseBroadcasts, CGCTBroadcasts, DirMessages uint64
+}
+
+// Fabric runs the three-way comparison at the given processor counts
+// (e.g. 4 and 16 — at four processors every hop is cheap and the
+// directory's home-indirection hardly costs anything; at sixteen, remote
+// boards make the third hop expensive).
+func Fabric(p Params, processorCounts []int) []FabricRow {
+	p = p.withDefaults()
+	if len(processorCounts) == 0 {
+		processorCounts = []int{4, 16}
+	}
+	run := func(b string, procs int, seed uint64, mut func(*cgct.Options)) *cgct.Result {
+		o := cgct.Options{
+			OpsPerProc:    p.OpsPerProc,
+			Seed:          seed,
+			Processors:    procs,
+			PerturbCycles: 40,
+		}
+		if mut != nil {
+			mut(&o)
+		}
+		res, err := cgct.Run(b, o)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	var rows []FabricRow
+	for _, procs := range processorCounts {
+		for _, b := range p.sortedBenchmarks() {
+			var cg, sc, dir []float64
+			var cgC2C, threeHop, baseB, cgB, dirMsg uint64
+			for _, s := range p.Seeds {
+				base := run(b, procs, s, nil)
+				c := run(b, procs, s, func(o *cgct.Options) { o.CGCT = true; o.RegionBytes = 512 })
+				rs := run(b, procs, s, func(o *cgct.Options) { o.RegionScout = true; o.RegionBytes = 512 })
+				d := run(b, procs, s, func(o *cgct.Options) { o.Directory = true })
+				red := func(r *cgct.Result) float64 {
+					return 100 * (float64(base.Cycles) - float64(r.Cycles)) / float64(base.Cycles)
+				}
+				cg = append(cg, red(c))
+				sc = append(sc, red(rs))
+				dir = append(dir, red(d))
+				cgC2C += c.CacheToCache
+				threeHop += d.ThreeHops
+				baseB += base.Broadcasts
+				cgB += c.Broadcasts
+				dirMsg += d.DirMessages
+			}
+			n := uint64(len(p.Seeds))
+			rows = append(rows, FabricRow{
+				Benchmark:  b,
+				Processors: procs,
+				CGCT:       mean(cg), Scout: mean(sc), Directory: mean(dir),
+				CGCTC2C: cgC2C / n, DirThreeHops: threeHop / n,
+				BaseBroadcasts: baseB / n, CGCTBroadcasts: cgB / n, DirMessages: dirMsg / n,
+			})
+		}
+	}
+	return rows
+}

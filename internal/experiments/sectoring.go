@@ -1,0 +1,53 @@
+package experiments
+
+import "cgct"
+
+// SectoringRow contrasts the two ways of tracking coarse granularity that
+// §2 discusses: sectoring the cache itself (fewer tags, but internal
+// fragmentation raises the miss ratio) versus CGCT (region state tracked
+// beside the cache — "does not significantly affect cache miss rate").
+type SectoringRow struct {
+	Benchmark string
+	// L2 miss ratios.
+	Baseline, Sector512, Sector1K, CGCT512 float64
+	// Percentage increases over the baseline miss ratio.
+	Sector512Pct, Sector1KPct, CGCTPct float64
+}
+
+// Sectoring measures L2 miss ratios for the conventional, sectored and
+// CGCT configurations.
+func Sectoring(p Params) []SectoringRow {
+	p = p.withDefaults()
+	run := func(b string, seed uint64, mut func(*cgct.Options)) *cgct.Result {
+		o := cgct.Options{OpsPerProc: p.OpsPerProc, Seed: seed}
+		if mut != nil {
+			mut(&o)
+		}
+		res, err := cgct.Run(b, o)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	var rows []SectoringRow
+	for _, b := range p.sortedBenchmarks() {
+		var base, s512, s1k, cg []float64
+		for _, seed := range p.Seeds {
+			base = append(base, run(b, seed, nil).L2MissRatio)
+			s512 = append(s512, run(b, seed, func(o *cgct.Options) { o.L2SectorBytes = 512 }).L2MissRatio)
+			s1k = append(s1k, run(b, seed, func(o *cgct.Options) { o.L2SectorBytes = 1024 }).L2MissRatio)
+			cg = append(cg, run(b, seed, func(o *cgct.Options) { o.CGCT = true; o.RegionBytes = 512 }).L2MissRatio)
+		}
+		row := SectoringRow{
+			Benchmark: b,
+			Baseline:  mean(base), Sector512: mean(s512), Sector1K: mean(s1k), CGCT512: mean(cg),
+		}
+		if row.Baseline > 0 {
+			row.Sector512Pct = 100 * (row.Sector512 - row.Baseline) / row.Baseline
+			row.Sector1KPct = 100 * (row.Sector1K - row.Baseline) / row.Baseline
+			row.CGCTPct = 100 * (row.CGCT512 - row.Baseline) / row.Baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,110 @@
+// Package memctrl models the memory controllers and their DRAM timing.
+//
+// Each controller serves the physical pages homed to it (see
+// internal/topology) with a fixed DRAM access latency and a small number of
+// banks that bound concurrency: requests beyond the bank count queue, which
+// is where memory-side queuing delay comes from in the timing model.
+package memctrl
+
+import (
+	"fmt"
+
+	"cgct/internal/event"
+)
+
+// Stats counts controller activity.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	DirectReqs  uint64 // requests that arrived via the direct path (CGCT)
+	SnoopReqs   uint64 // requests that arrived via the broadcast path
+	QueuedTotal uint64 // total cycles requests spent waiting for a bank
+	MaxQueue    uint64 // worst single queuing delay observed
+}
+
+// Controller is one memory controller.
+type Controller struct {
+	id          int
+	banks       []event.Cycle // busy-until time per bank
+	dramLatency uint64        // full DRAM access latency, CPU cycles
+	occupancy   uint64        // bank busy time per access, CPU cycles
+
+	Stats Stats
+}
+
+// New builds a controller with the given bank count, DRAM access latency
+// and per-access bank occupancy (all CPU cycles). Occupancy is shorter
+// than latency: DRAM pipelines accesses, so a bank is busy for the burst
+// time, not the full access latency.
+func New(id, banks int, dramLatency, occupancy uint64) *Controller {
+	if banks <= 0 {
+		panic(fmt.Sprintf("memctrl %d: need at least one bank", id))
+	}
+	if occupancy == 0 {
+		occupancy = dramLatency
+	}
+	return &Controller{
+		id:          id,
+		banks:       make([]event.Cycle, banks),
+		dramLatency: dramLatency,
+		occupancy:   occupancy,
+	}
+}
+
+// ID returns the controller's index.
+func (c *Controller) ID() int { return c.id }
+
+// DRAMLatency returns the configured access latency in CPU cycles.
+func (c *Controller) DRAMLatency() uint64 { return c.dramLatency }
+
+// schedule finds the earliest-free bank at or after t, occupies it for
+// busy cycles, and returns the start time.
+func (c *Controller) schedule(t event.Cycle, busy uint64) event.Cycle {
+	best := 0
+	for i := 1; i < len(c.banks); i++ {
+		if c.banks[i] < c.banks[best] {
+			best = i
+		}
+	}
+	start := t
+	if c.banks[best] > start {
+		start = c.banks[best]
+	}
+	queued := uint64(start - t)
+	c.Stats.QueuedTotal += queued
+	if queued > c.Stats.MaxQueue {
+		c.Stats.MaxQueue = queued
+	}
+	c.banks[best] = start + event.Cycle(busy)
+	return start
+}
+
+// Read performs a DRAM read arriving at cycle t and returns the cycle the
+// data is available at the controller. direct marks CGCT direct-path
+// requests (full DRAM latency); snoop-path requests overlap DRAM with the
+// snoop, so the caller passes the shorter effective latency via overlapped.
+func (c *Controller) Read(t event.Cycle, direct bool, overlappedLatency uint64) event.Cycle {
+	c.Stats.Reads++
+	lat := c.dramLatency
+	if direct {
+		c.Stats.DirectReqs++
+	} else {
+		c.Stats.SnoopReqs++
+		lat = overlappedLatency
+	}
+	start := c.schedule(t, c.occupancy)
+	return start + event.Cycle(lat)
+}
+
+// Write accepts a write-back arriving at cycle t and returns the cycle the
+// controller has absorbed it (the requester does not wait on this).
+func (c *Controller) Write(t event.Cycle, direct bool) event.Cycle {
+	c.Stats.Writes++
+	if direct {
+		c.Stats.DirectReqs++
+	} else {
+		c.Stats.SnoopReqs++
+	}
+	start := c.schedule(t, c.occupancy)
+	return start + event.Cycle(c.dramLatency)
+}

@@ -1,0 +1,92 @@
+package memctrl
+
+import (
+	"testing"
+
+	"cgct/internal/event"
+)
+
+func TestDirectReadLatency(t *testing.T) {
+	c := New(0, 4, 160, 40)
+	ready := c.Read(100, true, 0)
+	if ready != 100+160 {
+		t.Errorf("direct read ready at %d, want 260", ready)
+	}
+	if c.Stats.Reads != 1 || c.Stats.DirectReqs != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSnoopOverlappedRead(t *testing.T) {
+	c := New(0, 4, 160, 40)
+	// Snoop-path read exposes only the overlapped latency.
+	ready := c.Read(100, false, 230)
+	if ready != 100+230 {
+		t.Errorf("overlapped read ready at %d, want 330", ready)
+	}
+	if c.Stats.SnoopReqs != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestBankQueuing(t *testing.T) {
+	c := New(0, 2, 160, 40) // 2 banks, 40-cycle occupancy
+	// Three simultaneous reads: the third waits for a bank.
+	r1 := c.Read(0, true, 0)
+	r2 := c.Read(0, true, 0)
+	r3 := c.Read(0, true, 0)
+	if r1 != 160 || r2 != 160 {
+		t.Errorf("first two reads at %d/%d, want 160", r1, r2)
+	}
+	if r3 != 40+160 {
+		t.Errorf("queued read at %d, want 200 (40 occupancy + 160 latency)", r3)
+	}
+	if c.Stats.QueuedTotal != 40 || c.Stats.MaxQueue != 40 {
+		t.Errorf("queue stats = %+v", c.Stats)
+	}
+}
+
+func TestOccupancyShorterThanLatency(t *testing.T) {
+	c := New(0, 1, 160, 40) // one bank
+	var last event.Cycle
+	// Back-to-back reads pipeline at the occupancy rate, not the latency.
+	for i := 0; i < 4; i++ {
+		last = c.Read(0, true, 0)
+	}
+	// 4th read starts at 3*40 = 120, ready at 280.
+	if last != 280 {
+		t.Errorf("pipelined read ready at %d, want 280", last)
+	}
+}
+
+func TestWrite(t *testing.T) {
+	c := New(3, 4, 160, 40)
+	done := c.Write(50, true)
+	if done != 50+160 {
+		t.Errorf("write done at %d", done)
+	}
+	if c.Stats.Writes != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+	if c.ID() != 3 || c.DRAMLatency() != 160 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestZeroOccupancyDefaults(t *testing.T) {
+	c := New(0, 1, 160, 0)
+	r1 := c.Read(0, true, 0)
+	r2 := c.Read(0, true, 0)
+	if r1 != 160 || r2 != 320 {
+		t.Errorf("zero occupancy should default to full latency: %d/%d", r1, r2)
+	}
+}
+
+func TestZeroBanksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero banks did not panic")
+		}
+	}()
+	New(0, 0, 160, 40)
+}

@@ -1,0 +1,47 @@
+// Package oracle classifies broadcasts as necessary or unnecessary, the way
+// Figure 2 of the paper does: a broadcast is unnecessary when a processor
+// with perfect knowledge of all other caches could have handled the request
+// without one.
+//
+// The simulator evaluates the two inputs against the true global cache
+// state at the instant of the broadcast:
+//
+//   - anyRemoteValid: some other processor caches the requested line (any
+//     state);
+//   - anyRemoteWritable: some other processor caches the line in a state
+//     that permits (or contains) a modification — E, O or M. An E copy
+//     counts because MOESI allows a silent E→M upgrade, so memory cannot be
+//     trusted while one exists.
+package oracle
+
+import "cgct/internal/coherence"
+
+// Unnecessary reports whether a broadcast of kind k was unnecessary given
+// the true state of the other processors' caches.
+//
+// The rules mirror §1.2 of the paper:
+//
+//   - ordinary reads and writes (and prefetches, upgrades) are unnecessary
+//     when the data is not cached by any other processor at the time of the
+//     request;
+//   - write-backs never need to be seen by other processors;
+//   - instruction fetches need only a shared copy, so they are unnecessary
+//     as long as no other processor holds a modifiable copy (clean-shared
+//     remote copies and up-to-date memory are fine);
+//   - DCB operations (invalidate/flush/zero) are unnecessary when no other
+//     processor caches the block.
+func Unnecessary(k coherence.ReqKind, anyRemoteValid, anyRemoteWritable bool) bool {
+	switch k {
+	case coherence.ReqWriteback:
+		return true
+	case coherence.ReqIFetch:
+		return !anyRemoteWritable
+	case coherence.ReqRead, coherence.ReqPrefetch,
+		coherence.ReqReadExcl, coherence.ReqPrefetchExcl,
+		coherence.ReqUpgrade,
+		coherence.ReqDCBZ, coherence.ReqDCBF, coherence.ReqDCBI:
+		return !anyRemoteValid
+	default:
+		return false
+	}
+}

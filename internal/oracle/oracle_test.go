@@ -1,0 +1,50 @@
+package oracle
+
+import (
+	"testing"
+
+	"cgct/internal/coherence"
+)
+
+func TestWritebacksAlwaysUnnecessary(t *testing.T) {
+	for _, valid := range []bool{false, true} {
+		for _, writable := range []bool{false, true} {
+			if !Unnecessary(coherence.ReqWriteback, valid, writable) {
+				t.Errorf("write-back necessary with valid=%v writable=%v", valid, writable)
+			}
+		}
+	}
+}
+
+func TestIFetchNeedsOnlyCleanMemory(t *testing.T) {
+	// Remote shared copies are fine: memory is up to date.
+	if !Unnecessary(coherence.ReqIFetch, true, false) {
+		t.Error("ifetch with remote clean copies should be unnecessary")
+	}
+	// A remote modifiable copy makes the broadcast necessary.
+	if Unnecessary(coherence.ReqIFetch, true, true) {
+		t.Error("ifetch with remote writable copy should be necessary")
+	}
+	if !Unnecessary(coherence.ReqIFetch, false, false) {
+		t.Error("ifetch with no remote copies should be unnecessary")
+	}
+}
+
+func TestDataRequestsNeedNoRemoteCopies(t *testing.T) {
+	kinds := []coherence.ReqKind{
+		coherence.ReqRead, coherence.ReqReadExcl, coherence.ReqUpgrade,
+		coherence.ReqPrefetch, coherence.ReqPrefetchExcl,
+		coherence.ReqDCBZ, coherence.ReqDCBF, coherence.ReqDCBI,
+	}
+	for _, k := range kinds {
+		if !Unnecessary(k, false, false) {
+			t.Errorf("%v with no remote copies should be unnecessary", k)
+		}
+		if Unnecessary(k, true, false) {
+			t.Errorf("%v with remote copies should be necessary", k)
+		}
+		if Unnecessary(k, true, true) {
+			t.Errorf("%v with remote dirty copies should be necessary", k)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package proc holds processor-side components that are independent of the
+// timing engine: the Power4-style stream prefetcher (8 streams, 5-line
+// runahead in the paper's configuration) with MIPS-R10000-style exclusive
+// prefetching for store streams.
+//
+// Streams never cross a 4 KB page boundary, as in the real Power4 engine:
+// physically contiguous pages need not be virtually contiguous, so
+// prefetching past the page would fetch unrelated data. A stream dies at
+// its page's edge and is re-allocated by the first miss in the next page.
+package proc
+
+import "cgct/internal/addr"
+
+// prefetchPageBytes bounds a stream to one page.
+const prefetchPageBytes = 4096
+
+func samePage(a, b addr.LineAddr) bool {
+	return uint64(a)/prefetchPageBytes == uint64(b)/prefetchPageBytes
+}
+
+// PrefetchHint is one line the prefetcher wants brought into the cache.
+type PrefetchHint struct {
+	Line addr.LineAddr
+	// Exclusive requests the line in a writable state (exclusive
+	// prefetching for store streams).
+	Exclusive bool
+}
+
+type stream struct {
+	valid     bool
+	nextLine  addr.LineAddr // line whose arrival would advance the stream
+	dir       int64         // +1 or -1 line
+	confirmed bool          // two sequential misses seen; prefetching active
+	exclusive bool          // triggered by stores
+	issued    int           // lines of runahead already issued
+	lastUse   uint64
+}
+
+// StreamPrefetcher detects sequential miss streams and issues runahead
+// prefetches, in the style of the IBM Power4 prefetch engine.
+type StreamPrefetcher struct {
+	streams  []stream
+	runahead int
+	lineSz   uint64
+	tick     uint64
+
+	Issued    uint64 // prefetch hints produced
+	Allocated uint64 // new streams allocated
+}
+
+// NewStreamPrefetcher builds a prefetcher with the given stream count and
+// per-stream runahead distance.
+func NewStreamPrefetcher(streams, runahead int, lineBytes uint64) *StreamPrefetcher {
+	if streams <= 0 {
+		streams = 1
+	}
+	if runahead < 0 {
+		runahead = 0
+	}
+	return &StreamPrefetcher{
+		streams:  make([]stream, streams),
+		runahead: runahead,
+		lineSz:   lineBytes,
+	}
+}
+
+func (p *StreamPrefetcher) step(l addr.LineAddr, dir int64) addr.LineAddr {
+	return addr.LineAddr(uint64(l) + uint64(dir)*p.lineSz)
+}
+
+// OnAccess observes a demand access (hit or miss) to line l at the L2 and
+// returns the prefetches to issue now. Streams advance on every access to
+// their expected next line — including hits to lines the prefetcher itself
+// brought in, which is what keeps a stream alive once it is covering its
+// misses (Power4-style). New streams are allocated only on misses.
+func (p *StreamPrefetcher) OnAccess(l addr.LineAddr, isStore, wasMiss bool) []PrefetchHint {
+	p.tick++
+	// Advance a matching stream.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid || s.nextLine != l {
+			continue
+		}
+		s.lastUse = p.tick
+		s.confirmed = true
+		if isStore {
+			s.exclusive = true
+		}
+		s.nextLine = p.step(l, s.dir)
+		if s.issued > 0 {
+			s.issued-- // the stream consumed one line of runahead
+		}
+		var hints []PrefetchHint
+		// Re-extend the runahead window, stopping at the page edge.
+		for s.issued < p.runahead {
+			next := addr.LineAddr(uint64(l) + uint64(s.dir)*uint64(s.issued+1)*p.lineSz)
+			if !samePage(l, next) {
+				break
+			}
+			s.issued++
+			hints = append(hints, PrefetchHint{Line: next, Exclusive: s.exclusive})
+		}
+		p.Issued += uint64(len(hints))
+		return hints
+	}
+	if !wasMiss {
+		return nil
+	}
+	victim := 0
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lastUse < p.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	p.streams[victim] = stream{
+		valid:     true,
+		nextLine:  p.step(l, 1),
+		dir:       1,
+		exclusive: isStore,
+		lastUse:   p.tick,
+	}
+	p.Allocated++
+	return nil
+}
+
+// ActiveStreams returns the number of confirmed streams (diagnostics).
+func (p *StreamPrefetcher) ActiveStreams() int {
+	n := 0
+	for i := range p.streams {
+		if p.streams[i].valid && p.streams[i].confirmed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package proc
+
+import (
+	"testing"
+
+	"cgct/internal/addr"
+)
+
+func line(i uint64) addr.LineAddr { return addr.LineAddr(0x100000 + i*64) }
+
+func TestStreamDetectionAndRunahead(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	// First miss allocates a stream, no prefetch yet.
+	if hints := p.OnAccess(line(0), false, true); len(hints) != 0 {
+		t.Fatalf("first miss issued %d prefetches", len(hints))
+	}
+	// Second sequential access confirms the stream and extends runahead.
+	hints := p.OnAccess(line(1), false, true)
+	if len(hints) != 5 {
+		t.Fatalf("confirmed stream issued %d hints, want 5", len(hints))
+	}
+	for i, h := range hints {
+		if h.Line != line(uint64(2+i)) {
+			t.Errorf("hint %d = %x, want %x", i, uint64(h.Line), uint64(line(uint64(2+i))))
+		}
+		if h.Exclusive {
+			t.Error("load stream issued exclusive prefetch")
+		}
+	}
+	// Consuming the next line re-extends by one.
+	hints = p.OnAccess(line(2), false, false)
+	if len(hints) != 1 || hints[0].Line != line(7) {
+		t.Errorf("steady-state hints = %v", hints)
+	}
+}
+
+func TestHitsKeepStreamAlive(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	p.OnAccess(line(0), false, true)
+	p.OnAccess(line(1), false, true)
+	// All subsequent accesses hit (covered stream); the stream must keep
+	// producing runahead anyway.
+	total := 0
+	for i := uint64(2); i < 10; i++ {
+		total += len(p.OnAccess(line(i), false, false))
+	}
+	if total == 0 {
+		t.Error("stream died once its misses were covered")
+	}
+	if p.ActiveStreams() != 1 {
+		t.Errorf("active streams = %d", p.ActiveStreams())
+	}
+}
+
+func TestExclusivePrefetchForStores(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	p.OnAccess(line(0), true, true)
+	hints := p.OnAccess(line(1), true, true)
+	if len(hints) == 0 {
+		t.Fatal("no hints for store stream")
+	}
+	for _, h := range hints {
+		if !h.Exclusive {
+			t.Error("store stream must prefetch exclusively")
+		}
+	}
+}
+
+func TestStoreUpgradesExistingStream(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	p.OnAccess(line(0), false, true)
+	p.OnAccess(line(1), false, true) // load stream
+	hints := p.OnAccess(line(2), true, false)
+	for _, h := range hints {
+		if !h.Exclusive {
+			t.Error("stream touched by a store must turn exclusive")
+		}
+	}
+}
+
+func TestPageBoundary(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	// Lines 62,63 are the last two of a 4KB page (64 lines/page); runahead
+	// must not cross into the next page.
+	base := addr.LineAddr(0x200000) // page-aligned
+	l := func(i uint64) addr.LineAddr { return addr.LineAddr(uint64(base) + i*64) }
+	p.OnAccess(l(61), false, true)
+	hints := p.OnAccess(l(62), false, true)
+	for _, h := range hints {
+		if uint64(h.Line)/4096 != uint64(base)/4096 {
+			t.Errorf("prefetch %x crossed the page boundary", uint64(h.Line))
+		}
+	}
+	if len(hints) != 1 { // only line 63 remains in the page
+		t.Errorf("issued %d hints at page edge, want 1", len(hints))
+	}
+}
+
+func TestStreamReplacementLRU(t *testing.T) {
+	p := NewStreamPrefetcher(2, 3, 64) // only 2 streams
+	p.OnAccess(line(0), false, true)
+	p.OnAccess(line(1000), false, true)
+	p.OnAccess(line(2000), false, true) // evicts the LRU stream (line 0's)
+	// The first stream is gone: accessing its expected next line allocates
+	// fresh instead of advancing.
+	if hints := p.OnAccess(line(1), false, true); len(hints) != 0 {
+		t.Error("evicted stream still advanced")
+	}
+	if p.Allocated != 4 {
+		t.Errorf("allocations = %d, want 4", p.Allocated)
+	}
+}
+
+func TestNonSequentialDoesNotConfirm(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	p.OnAccess(line(0), false, true)
+	if hints := p.OnAccess(line(10), false, true); len(hints) != 0 {
+		t.Error("random misses triggered prefetch")
+	}
+	if p.ActiveStreams() != 0 {
+		t.Error("unconfirmed streams counted as active")
+	}
+}
+
+func TestHitsDoNotAllocate(t *testing.T) {
+	p := NewStreamPrefetcher(8, 5, 64)
+	p.OnAccess(line(5), false, false) // hit with no matching stream
+	if p.Allocated != 0 {
+		t.Error("hit allocated a stream")
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	p := NewStreamPrefetcher(0, -1, 64) // coerced to 1 stream, 0 runahead
+	p.OnAccess(line(0), false, true)
+	if hints := p.OnAccess(line(1), false, true); len(hints) != 0 {
+		t.Error("zero runahead issued prefetches")
+	}
+}

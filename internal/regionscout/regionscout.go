@@ -1,0 +1,181 @@
+// Package regionscout implements RegionScout (Moshovos, ISCA 2005), the
+// concurrently proposed region-tracking technique the paper's related-work
+// section compares against. RegionScout keeps far less state than a Region
+// Coherence Array:
+//
+//   - a Cached Region Hash (CRH): an untagged array of counters indexed by
+//     a hash of the region address, counting locally cached lines. It
+//     answers "might I cache lines of this region?" — false positives from
+//     hash collisions are allowed (they only cost filtering opportunity,
+//     never correctness);
+//   - a Not-Shared Region Table (NSRT): a small tagged table of regions a
+//     broadcast proved globally unshared. Requests to NSRT-hit regions
+//     skip the snoop; any observed external request to the region evicts
+//     the entry.
+//
+// The global snoop response carries a single "region miss" bit computed
+// from the other processors' CRHs — imprecise where CGCT's response is
+// exact, which is exactly the storage/effectiveness trade-off the paper
+// describes.
+package regionscout
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+)
+
+// CRH is the Cached Region Hash: counters over a hash of the region
+// address. Collisions make Present conservative (may claim presence for
+// regions that only share a bucket with cached ones).
+type CRH struct {
+	counters []uint32
+	mask     uint64
+	shift    uint
+}
+
+// NewCRH builds a CRH with the given counter count (power of two) for the
+// given region size.
+func NewCRH(counters uint64, regionBytes uint64) *CRH {
+	if counters == 0 || !addr.IsPow2(counters) {
+		panic(fmt.Sprintf("regionscout: CRH size %d not a power of two", counters))
+	}
+	return &CRH{
+		counters: make([]uint32, counters),
+		mask:     counters - 1,
+		shift:    addr.Log2(regionBytes),
+	}
+}
+
+func (c *CRH) index(r addr.RegionAddr) uint64 {
+	v := uint64(r) >> c.shift
+	// Cheap mixing so that strided regions spread over the counters.
+	v ^= v >> 17
+	v *= 0x9e3779b97f4a7c15
+	return (v >> 13) & c.mask
+}
+
+// Inc notes a line of region r entering the cache.
+func (c *CRH) Inc(r addr.RegionAddr) { c.counters[c.index(r)]++ }
+
+// Dec notes a line of region r leaving the cache.
+func (c *CRH) Dec(r addr.RegionAddr) {
+	i := c.index(r)
+	if c.counters[i] == 0 {
+		panic("regionscout: CRH underflow")
+	}
+	c.counters[i]--
+}
+
+// Present reports whether the node may cache lines of region r (exact
+// zeros, conservative non-zeros).
+func (c *CRH) Present(r addr.RegionAddr) bool { return c.counters[c.index(r)] != 0 }
+
+// nsrtEntry is one tagged NSRT way.
+type nsrtEntry struct {
+	region addr.RegionAddr
+	valid  bool
+	lru    uint64
+}
+
+// NSRT is the Not-Shared Region Table: a small set-associative tagged
+// table of regions known to be globally unshared.
+type NSRT struct {
+	sets    uint64
+	assoc   int
+	shift   uint
+	ways    []nsrtEntry
+	tick    uint64
+	Inserts uint64
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64 // invalidations from observed external requests
+}
+
+// NewNSRT builds an NSRT with the given total entry count (power of two)
+// and associativity.
+func NewNSRT(entries uint64, assoc int, regionBytes uint64) *NSRT {
+	if entries == 0 || !addr.IsPow2(entries) || assoc <= 0 || entries%uint64(assoc) != 0 {
+		panic(fmt.Sprintf("regionscout: bad NSRT geometry (%d entries, %d ways)", entries, assoc))
+	}
+	return &NSRT{
+		sets:  entries / uint64(assoc),
+		assoc: assoc,
+		shift: addr.Log2(regionBytes),
+		ways:  make([]nsrtEntry, entries),
+	}
+}
+
+func (t *NSRT) set(r addr.RegionAddr) []nsrtEntry {
+	idx := (uint64(r) >> t.shift) % t.sets
+	i := idx * uint64(t.assoc)
+	return t.ways[i : i+uint64(t.assoc)]
+}
+
+// Lookup reports whether region r is recorded as globally unshared.
+func (t *NSRT) Lookup(r addr.RegionAddr) bool {
+	s := t.set(r)
+	for i := range s {
+		if s[i].valid && s[i].region == r {
+			t.tick++
+			s[i].lru = t.tick
+			t.Hits++
+			return true
+		}
+	}
+	t.Misses++
+	return false
+}
+
+// Insert records region r as globally unshared (a broadcast's snoop
+// response proved it).
+func (t *NSRT) Insert(r addr.RegionAddr) {
+	s := t.set(r)
+	var victim *nsrtEntry
+	for i := range s {
+		if s[i].valid && s[i].region == r {
+			t.tick++
+			s[i].lru = t.tick
+			return
+		}
+		if !s[i].valid {
+			if victim == nil || victim.valid {
+				victim = &s[i]
+			}
+			continue
+		}
+		if victim == nil || (victim.valid && s[i].lru < victim.lru) {
+			victim = &s[i]
+		}
+	}
+	t.tick++
+	*victim = nsrtEntry{region: r, valid: true, lru: t.tick}
+	t.Inserts++
+}
+
+// Observe invalidates the entry for region r — called when this node
+// observes another agent's request for the region (it is no longer known
+// unshared). This is what keeps at most one NSRT entry per region alive
+// system-wide: a node can only insert after a broadcast, and that same
+// broadcast evicts every older entry.
+func (t *NSRT) Observe(r addr.RegionAddr) {
+	s := t.set(r)
+	for i := range s {
+		if s[i].valid && s[i].region == r {
+			s[i].valid = false
+			t.Evicted++
+			return
+		}
+	}
+}
+
+// CountValid returns the live entry count (tests/diagnostics).
+func (t *NSRT) CountValid() int {
+	n := 0
+	for i := range t.ways {
+		if t.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

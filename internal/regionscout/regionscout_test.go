@@ -1,0 +1,148 @@
+package regionscout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cgct/internal/addr"
+)
+
+func region(i uint64) addr.RegionAddr { return addr.RegionAddr(i * 512) }
+
+func TestCRHCounting(t *testing.T) {
+	c := NewCRH(256, 512)
+	r := region(5)
+	if c.Present(r) {
+		t.Error("empty CRH claims presence")
+	}
+	c.Inc(r)
+	c.Inc(r)
+	if !c.Present(r) {
+		t.Error("CRH lost its count")
+	}
+	c.Dec(r)
+	if !c.Present(r) {
+		t.Error("CRH dropped presence too early")
+	}
+	c.Dec(r)
+	if c.Present(r) {
+		t.Error("CRH still present after all lines left")
+	}
+}
+
+func TestCRHUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CRH underflow did not panic")
+		}
+	}()
+	NewCRH(64, 512).Dec(region(1))
+}
+
+func TestCRHConservative(t *testing.T) {
+	// Property: after any interleaving of Inc/Dec with matched pairs, a
+	// region with live lines is always Present (no false negatives).
+	f := func(seeds []uint8) bool {
+		c := NewCRH(16, 512) // tiny: force collisions
+		live := map[addr.RegionAddr]int{}
+		for _, b := range seeds {
+			r := region(uint64(b % 23))
+			if b%2 == 0 {
+				c.Inc(r)
+				live[r]++
+			} else if live[r] > 0 {
+				c.Dec(r)
+				live[r]--
+			}
+		}
+		for r, n := range live {
+			if n > 0 && !c.Present(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRHBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two CRH accepted")
+		}
+	}()
+	NewCRH(100, 512)
+}
+
+func TestNSRTInsertLookup(t *testing.T) {
+	n := NewNSRT(16, 4, 512)
+	r := region(7)
+	if n.Lookup(r) {
+		t.Error("empty NSRT hit")
+	}
+	n.Insert(r)
+	if !n.Lookup(r) {
+		t.Error("inserted region missing")
+	}
+	if n.Inserts != 1 || n.Hits != 1 || n.Misses != 1 {
+		t.Errorf("stats: %d/%d/%d", n.Inserts, n.Hits, n.Misses)
+	}
+}
+
+func TestNSRTObserve(t *testing.T) {
+	n := NewNSRT(16, 4, 512)
+	r := region(3)
+	n.Insert(r)
+	n.Observe(r)
+	if n.Lookup(r) {
+		t.Error("observed region still recorded as unshared")
+	}
+	if n.Evicted != 1 {
+		t.Errorf("evicted = %d", n.Evicted)
+	}
+	// Observe on absent regions is a no-op.
+	n.Observe(region(99))
+	if n.Evicted != 1 {
+		t.Error("phantom eviction")
+	}
+}
+
+func TestNSRTReinsertRefreshes(t *testing.T) {
+	n := NewNSRT(8, 2, 512)
+	r := region(2)
+	n.Insert(r)
+	n.Insert(r)
+	if n.Inserts != 1 {
+		t.Errorf("duplicate insert counted: %d", n.Inserts)
+	}
+	if n.CountValid() != 1 {
+		t.Errorf("valid = %d", n.CountValid())
+	}
+}
+
+func TestNSRTLRUReplacement(t *testing.T) {
+	// 2-way set: overflowing a set evicts the least recently used entry.
+	n := NewNSRT(2, 2, 512) // single set
+	a, b, c := region(1), region(2), region(3)
+	n.Insert(a)
+	n.Insert(b)
+	n.Lookup(a) // refresh a
+	n.Insert(c) // evicts b
+	if !n.Lookup(a) || !n.Lookup(c) {
+		t.Error("survivors missing")
+	}
+	if n.Lookup(b) {
+		t.Error("LRU victim survived")
+	}
+}
+
+func TestNSRTBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad NSRT geometry accepted")
+		}
+	}()
+	NewNSRT(10, 3, 512)
+}

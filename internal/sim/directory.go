@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/coherence"
+	"cgct/internal/event"
+)
+
+// Directory-based coherence: the comparison system of the paper's
+// introduction. Instead of broadcasting, every request goes to the line's
+// home memory controller, which keeps a full-map directory entry per
+// cached line. Non-shared data enjoys the same low-latency direct path
+// CGCT builds — that is the paper's point — but cache-to-cache transfers
+// take three hops (requester → home → owner → requester), and every
+// invalidation is an explicit message exchange.
+//
+// The directory runs MESI semantics (no Owned state: on a remote dirty
+// hit the owner writes back to home while forwarding, the textbook
+// protocol), which keeps the directory state machine exact and simple
+// without changing what the comparison measures.
+
+// dirEntry is one line's full-map directory state at its home controller.
+type dirEntry struct {
+	owner   int    // node holding E/M, or -1
+	sharers uint64 // bitmask of nodes holding S
+}
+
+func (e dirEntry) uncached() bool { return e.owner < 0 && e.sharers == 0 }
+
+// directory is the per-controller directory.
+type directory struct {
+	home    int
+	entries map[addr.LineAddr]dirEntry
+	// busyUntil serialises transactions at the home: the directory pipeline
+	// handles one transaction per DirectoryLatency, and bursts queue —
+	// the home-node bottleneck of directory protocols.
+	busyUntil event.Cycle
+
+	queuedTotal uint64
+}
+
+func newDirectory(home int) *directory {
+	return &directory{home: home, entries: make(map[addr.LineAddr]dirEntry)}
+}
+
+// admit grants the transaction a directory slot at or after t.
+func (d *directory) admit(t event.Cycle, occupancy uint64) event.Cycle {
+	start := t
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	d.queuedTotal += uint64(start - t)
+	d.busyUntil = start + event.Cycle(occupancy)
+	return start
+}
+
+func (d *directory) get(l addr.LineAddr) dirEntry {
+	if e, ok := d.entries[l]; ok {
+		return e
+	}
+	return dirEntry{owner: -1}
+}
+
+func (d *directory) set(l addr.LineAddr, e dirEntry) {
+	if e.uncached() {
+		delete(d.entries, l)
+		return
+	}
+	d.entries[l] = e
+}
+
+// issueRequestDirectory is the directory-mode counterpart of issueRequest:
+// the request travels to the home controller, the directory resolves it
+// atomically, and the reply (or forwarded data) comes back. No address
+// broadcast exists in this mode.
+func (n *node) issueRequestDirectory(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, onComplete func(event.Cycle)) {
+	s := n.sys
+	t = s.perturb(t)
+	s.run.Requests[kind]++
+	s.run.Directs[kind]++ // every request is a point-to-point message
+
+	home := s.topo.HomeController(addr.Addr(line))
+	reqLat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, home))
+	atHome := t + event.Cycle(reqLat)
+	arriveHome := s.dirs[home].admit(atHome, s.cfg.Net.DirectoryLatency) + event.Cycle(s.cfg.Net.DirectoryLatency)
+	s.run.DirMessages++
+
+	if kind == coherence.ReqWriteback {
+		// Data travels with the request; the directory clears ownership.
+		s.queue.At(arriveHome, func(now event.Cycle) {
+			d := s.dirs[home]
+			e := d.get(line)
+			if e.owner == n.id {
+				e.owner = -1
+			}
+			e.sharers &^= 1 << uint(n.id)
+			d.set(line, e)
+			s.mcs[home].Write(now, true)
+		})
+		return
+	}
+
+	n.outstanding++
+	if _, dup := n.pending[line]; !dup {
+		n.pending[line] = &mshr{}
+	}
+	s.queue.At(arriveHome, func(now event.Cycle) {
+		n.resolveAtDirectory(kind, line, home, now, onComplete)
+	})
+}
+
+// resolveAtDirectory performs the directory transaction at its home-arrival
+// time: state changes are atomic here; the returned data/ack timing is
+// scheduled afterwards.
+func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, home int, now event.Cycle, onComplete func(event.Cycle)) {
+	s := n.sys
+	d := s.dirs[home]
+	e := d.get(line)
+	self := uint64(1) << uint(n.id)
+
+	// An upgrade that lost its line while the request was in flight turns
+	// into a full read-for-ownership, as on the snooping path.
+	if kind == coherence.ReqUpgrade && !n.l2.Lookup(line).Valid() {
+		kind = coherence.ReqReadExcl
+	}
+
+	// transferFrom computes when data sourced at node src reaches the
+	// requester, given it leaves src at "ready".
+	transferFrom := func(src int, ready event.Cycle) event.Cycle {
+		ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToProc(n.id, src)))
+		return s.dnet.Deliver(n.id, ready)
+	}
+	memData := func() event.Cycle {
+		ready := s.mcs[home].Read(now, true, 0)
+		ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(n.id, home)))
+		return s.dnet.Deliver(n.id, ready)
+	}
+	// invalidateSharers sends invalidations to every sharer except the
+	// requester and returns when the last acknowledgement is home.
+	invalidateSharers := func() event.Cycle {
+		ackBy := now
+		for _, o := range s.nodes {
+			if o.id == n.id || e.sharers&(1<<uint(o.id)) == 0 {
+				continue
+			}
+			o.l2.Invalidate(line)
+			s.run.DirMessages += 2 // invalidation + ack
+			rt := event.Cycle(2 * s.cfg.Net.TransferLatency(s.topo.ProcToMem(o.id, home)))
+			if now+rt > ackBy {
+				ackBy = now + rt
+			}
+		}
+		e.sharers &= self
+		return ackBy
+	}
+
+	var arrive event.Cycle
+	var granted coherence.LineState
+
+	switch kind {
+	case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch:
+		switch {
+		case e.owner >= 0 && e.owner != n.id:
+			// Three-hop transfer: home forwards to the owner, the owner
+			// supplies the data (and writes back to memory, MESI-style).
+			s.run.ThreeHops++
+			s.run.CacheToCache++
+			s.run.DirMessages += 2 // forward + data
+			owner := s.nodes[e.owner]
+			owner.l2.SetState(line, coherence.Shared)
+			owner.l1d.SetState(line, coherence.Shared)
+			s.mcs[home].Write(now, true) // owner's dirty data reaches home
+			fwd := now + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(owner.id, home)))
+			arrive = transferFrom(owner.id, fwd)
+			e.sharers |= 1<<uint(owner.id) | self
+			e.owner = -1
+			granted = coherence.Shared
+		case e.uncached() || e.owner == n.id:
+			s.run.DirMessages++ // data reply
+			arrive = memData()
+			if kind == coherence.ReqIFetch {
+				granted = coherence.Shared
+				e.sharers |= self
+				e.owner = -1
+			} else {
+				granted = coherence.Exclusive
+				e.owner = n.id
+				e.sharers = 0
+			}
+		default: // shared somewhere
+			s.run.DirMessages++
+			arrive = memData()
+			granted = coherence.Shared
+			e.sharers |= self
+		}
+	case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade, coherence.ReqDCBZ:
+		ackBy := now
+		if e.owner >= 0 && e.owner != n.id {
+			// Fetch the dirty line from its owner (three hops) and
+			// invalidate it there.
+			s.run.ThreeHops++
+			s.run.CacheToCache++
+			s.run.DirMessages += 2
+			owner := s.nodes[e.owner]
+			owner.l2.Invalidate(line)
+			fwd := now + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(owner.id, home)))
+			arrive = transferFrom(owner.id, fwd)
+			e.owner = -1
+		} else {
+			ackBy = invalidateSharers()
+			if kind == coherence.ReqUpgrade || kind == coherence.ReqDCBZ {
+				// Permission-only: complete once the acks are in.
+				arrive = ackBy
+			} else {
+				s.run.DirMessages++
+				arrive = memData()
+				if arrive < ackBy {
+					arrive = ackBy
+				}
+			}
+		}
+		granted = coherence.Modified
+		e.owner = n.id
+		e.sharers = 0
+	case coherence.ReqDCBF, coherence.ReqDCBI:
+		if e.owner >= 0 && e.owner != n.id {
+			o := s.nodes[e.owner]
+			if kind == coherence.ReqDCBF {
+				s.mcs[home].Write(now, true)
+			}
+			o.l2.Invalidate(line)
+			s.run.DirMessages += 2
+			e.owner = -1
+		}
+		arrive = invalidateSharers()
+		// The requester's own copy goes too.
+		if st := n.l2.Lookup(line); st.Valid() {
+			if st.Dirty() && kind == coherence.ReqDCBF {
+				s.mcs[home].Write(now, true)
+			}
+			n.l2.Invalidate(line)
+		}
+		e.owner = -1
+		e.sharers = 0
+		granted = coherence.Invalid
+	default:
+		panic(fmt.Sprintf("sim: directory cannot resolve %v", kind))
+	}
+
+	d.set(line, e)
+
+	// Install the granted line (state change at the coherence point).
+	if granted.Valid() {
+		if kind == coherence.ReqUpgrade {
+			n.l2.SetState(line, coherence.Modified)
+			n.l2.Touch(line)
+		} else {
+			n.l2.Allocate(line, granted)
+		}
+		if granted == coherence.Modified {
+			s.trackWrite(n.id, line)
+		}
+	}
+	if s.DebugChecks {
+		s.checkLineInvariants(line)
+		s.checkDirectoryAgrees(line, home)
+	}
+	s.queue.At(arrive, func(at event.Cycle) {
+		n.completeFill(kind, line, at, onComplete)
+	})
+}
+
+// dirEvictNotice is the replacement hint a node sends its home directory
+// when it drops a line: without it, silent clean evictions would leave the
+// directory believing the node still holds a copy. (Dirty evictions travel
+// as write-backs, which carry the same information plus the data.)
+func (s *System) dirEvictNotice(n *node, line addr.LineAddr) {
+	home := s.topo.HomeController(addr.Addr(line))
+	d := s.dirs[home]
+	e := d.get(line)
+	if e.owner == n.id {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(n.id)
+	d.set(line, e)
+	s.run.DirMessages++
+}
+
+// checkDirectoryAgrees asserts (tests only) that the directory entry for a
+// line matches the true cache states.
+func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int) {
+	e := s.dirs[home].get(line)
+	for _, o := range s.nodes {
+		st := o.l2.Lookup(line)
+		hasBit := e.sharers&(1<<uint(o.id)) != 0
+		switch {
+		case st == coherence.Exclusive || st == coherence.Modified:
+			if e.owner != o.id {
+				panic(fmt.Sprintf("sim: directory says owner %d, but p%d holds %x in %v",
+					e.owner, o.id, uint64(line), st))
+			}
+		case st == coherence.Shared:
+			if !hasBit && e.owner != o.id {
+				panic(fmt.Sprintf("sim: p%d shares %x but directory has no record", o.id, uint64(line)))
+			}
+		case !st.Valid():
+			if e.owner == o.id {
+				panic(fmt.Sprintf("sim: directory owner p%d does not cache %x", o.id, uint64(line)))
+			}
+		}
+	}
+}

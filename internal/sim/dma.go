@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"cgct/internal/addr"
+	"cgct/internal/coherence"
+	"cgct/internal/core"
+	"cgct/internal/event"
+)
+
+// dmaAgent models coherent I/O: disk and network devices writing
+// DMA-buffer-sized chunks (Table 3: 512 bytes) into memory. A DMA write
+// must be observed by every processor — cached copies of the written lines
+// are stale afterwards — so it is always broadcast; the device has no
+// Region Coherence Array, which is why the paper's direct path never
+// applies to it. Each write also downgrades or self-invalidates the
+// processors' region entries covering the buffer, eroding region
+// exclusivity over I/O-heavy data.
+//
+// The agent walks the workload's DMA target segments round-robin,
+// deterministically, issuing one buffer write per interval.
+type dmaAgent struct {
+	sys      *System
+	targets  []addr.Segment
+	bufBytes uint64
+	interval event.Cycle
+	segIdx   int
+	offset   uint64
+}
+
+// newDMAAgent builds the agent; returns nil when DMA is disabled or the
+// workload has no I/O targets.
+func newDMAAgent(s *System, targets []addr.Segment, interval uint64) *dmaAgent {
+	if interval == 0 || len(targets) == 0 {
+		return nil
+	}
+	buf := s.cfg.DMABufferBytes
+	if buf < s.cfg.L2.LineBytes {
+		buf = s.cfg.L2.LineBytes
+	}
+	return &dmaAgent{
+		sys:      s,
+		targets:  targets,
+		bufBytes: buf,
+		interval: event.Cycle(interval),
+	}
+}
+
+// start schedules the first write.
+func (d *dmaAgent) start() {
+	d.sys.queue.At(d.interval, d.tick)
+}
+
+// tick performs one DMA buffer write and reschedules itself while any
+// processor is still running.
+func (d *dmaAgent) tick(now event.Cycle) {
+	if d.sys.done >= len(d.sys.nodes) {
+		return // workload finished; stop injecting
+	}
+	d.writeBuffer(now)
+	d.sys.queue.After(d.interval, d.tick)
+}
+
+// writeBuffer invalidates the buffer's lines system-wide and hands the
+// data to the home memory controller, paying one broadcast slot.
+func (d *dmaAgent) writeBuffer(now event.Cycle) {
+	s := d.sys
+	seg := d.targets[d.segIdx]
+	base := seg.At(d.offset)
+	d.offset += d.bufBytes
+	if d.offset >= seg.Size {
+		d.offset = 0
+		d.segIdx = (d.segIdx + 1) % len(d.targets)
+	}
+
+	grant := s.abus.Arbitrate(now)
+	s.run.Windows.Record(grant)
+	s.run.DMAWrites++
+
+	lines := int(d.bufBytes / s.cfg.L2.LineBytes)
+	for i := 0; i < lines; i++ {
+		line := s.geom.Line(addr.Addr(uint64(base) + uint64(i)*s.cfg.L2.LineBytes))
+		region := s.geom.RegionOfLine(line)
+		s.trackExternalWrite(line)
+		for _, o := range s.nodes {
+			o.l2.Invalidate(line) // back-invalidates L1s, maintains counts
+			if o.nsrt != nil {
+				o.nsrt.Observe(region)
+			}
+			if o.rca != nil {
+				if e := o.rca.Probe(region); e != nil {
+					// The device overwrote lines of the region: treat it as
+					// an external modifiable request.
+					next, outcome := o.protocol.AfterExternal(e.State, coherence.ReqReadExcl, true, e.LineCount)
+					if outcome == core.ExtSelfInvalidated {
+						o.rca.Stats.SelfInvals++
+						o.rca.SetState(region, core.RegionInvalid)
+					} else if next != e.State {
+						o.rca.Stats.DowngradeExt++
+						o.rca.SetState(region, next)
+					}
+				}
+			}
+		}
+	}
+	home := s.topo.HomeController(addr.Addr(base))
+	s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+}

@@ -1,0 +1,593 @@
+package sim
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/coherence"
+	"cgct/internal/core"
+	"cgct/internal/event"
+	"cgct/internal/oracle"
+	"cgct/internal/stats"
+)
+
+// issueRequest sends a memory request of kind for line into the coherence
+// fabric at time t. Under CGCT the region protocol chooses the route
+// (broadcast, direct-to-memory, or local completion); the baseline always
+// broadcasts. onComplete, when non-nil, runs when the request finishes
+// (store-buffer slots use it).
+func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, onComplete func(event.Cycle)) {
+	s := n.sys
+	if s.dirs != nil {
+		n.issueRequestDirectory(kind, line, t, onComplete)
+		return
+	}
+	t = s.perturb(t)
+	s.run.Requests[kind]++
+
+	region := s.geom.RegionOfLine(line)
+	route := core.RouteBroadcast
+	regionMC := s.topo.HomeControllerRegion(region)
+	if n.rca != nil {
+		st := n.rca.Lookup(region)
+		s.run.RegionStateAtLookup[st]++
+		route = n.protocol.Route(st, kind)
+		if e := n.rca.Probe(region); e != nil {
+			regionMC = e.MemCtrl
+		}
+	}
+	if n.nsrt != nil && kind != coherence.ReqWriteback && n.nsrt.Lookup(region) {
+		// RegionScout: the region is recorded globally unshared.
+		switch kind {
+		case coherence.ReqUpgrade, coherence.ReqDCBZ, coherence.ReqDCBI:
+			route = core.RouteLocal
+		default:
+			route = core.RouteDirect
+		}
+	}
+
+	if kind == coherence.ReqWriteback {
+		if route == core.RouteDirect {
+			s.run.Directs[kind]++
+			s.writebackToMC(n, line, regionMC, t, true)
+		} else {
+			s.run.Broadcasts[kind]++
+			grant := s.abus.Arbitrate(t)
+			s.run.Windows.Record(grant)
+			s.queue.At(grant, func(now event.Cycle) {
+				// Write-backs are always unnecessary broadcasts (§5.1).
+				s.run.OracleUnnecessary[stats.CatWriteback]++
+				s.writebackToMC(n, line, s.topo.HomeController(addr.Addr(line)), now, false)
+			})
+		}
+		return
+	}
+
+	switch route {
+	case core.RouteLocal:
+		s.run.LocalDones[kind]++
+		if s.DebugChecks {
+			s.checkNonBroadcastSafe(n, kind, line, "local")
+		}
+		n.applyLocalRoute(kind, line, region)
+		n.outstanding++
+		s.queue.At(t, func(now event.Cycle) {
+			n.completeFill(kind, line, now, onComplete)
+		})
+	case core.RouteDirect:
+		s.run.Directs[kind]++
+		n.outstanding++
+		arrive := n.applyDirectRoute(kind, line, region, regionMC, t)
+		s.queue.At(arrive, func(now event.Cycle) {
+			n.completeFill(kind, line, now, onComplete)
+		})
+	default: // broadcast
+		s.run.Broadcasts[kind]++
+		n.outstanding++
+		if _, dup := n.pending[line]; !dup {
+			n.pending[line] = &mshr{}
+		}
+		grant := s.abus.Arbitrate(t)
+		s.run.Windows.Record(grant)
+		s.queue.At(grant, func(now event.Cycle) {
+			n.performBroadcast(kind, line, region, now, onComplete)
+		})
+		return
+	}
+	if _, dup := n.pending[line]; !dup {
+		n.pending[line] = &mshr{}
+	}
+}
+
+// writebackToMC sends dirty data to memory controller mc (direct path when
+// direct is true; otherwise the data follows a broadcast and pays the snoop
+// latency first).
+func (s *System) writebackToMC(n *node, line addr.LineAddr, mc int, t event.Cycle, direct bool) {
+	lat := uint64(0)
+	if direct {
+		lat = s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, mc))
+	} else {
+		lat = s.cfg.Net.SnoopLatency
+	}
+	s.mcs[mc].Write(t+event.Cycle(lat), direct)
+}
+
+// directWriteback is the region-eviction flush path: the victim entry's
+// controller ID routes the data without any lookup.
+func (s *System) directWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle) {
+	s.run.Requests[coherence.ReqWriteback]++
+	s.run.Directs[coherence.ReqWriteback]++
+	s.writebackToMC(n, line, mc, s.perturb(t), true)
+}
+
+// grantedLineState returns the MOESI state a data request acquires its
+// line in, given whether other caches keep valid copies afterwards.
+func grantedLineState(kind coherence.ReqKind, remoteValid bool) coherence.LineState {
+	switch kind {
+	case coherence.ReqRead, coherence.ReqPrefetch:
+		if remoteValid {
+			return coherence.Shared
+		}
+		return coherence.Exclusive
+	case coherence.ReqIFetch:
+		return coherence.Shared
+	case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade, coherence.ReqDCBZ:
+		return coherence.Modified
+	default:
+		return coherence.Invalid
+	}
+}
+
+// applyLocalRoute performs a request that completes with no external
+// request at all: upgrades, DCBZ and DCBI in an exclusive region.
+func (n *node) applyLocalRoute(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr) {
+	switch kind {
+	case coherence.ReqUpgrade:
+		n.l2.SetState(line, coherence.Modified)
+		n.l2.Touch(line)
+		n.sys.trackWrite(n.id, line)
+	case coherence.ReqDCBZ:
+		n.l2.Allocate(line, coherence.Modified)
+		n.sys.trackWrite(n.id, line)
+	case coherence.ReqDCBI:
+		n.l2.Invalidate(line)
+	default:
+		panic(fmt.Sprintf("sim: kind %v cannot complete locally", kind))
+	}
+	if n.rca != nil {
+		prev := n.rca.Probe(region).State
+		n.rca.SetState(region, n.protocol.AfterDirect(prev, kind, true))
+		n.rca.Stats.LocalCompletions++
+	}
+}
+
+// applyDirectRoute performs a request on the direct path (no broadcast):
+// the cache and region state change at issue time; the returned cycle is
+// when the data (if any) arrives.
+func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, mc int, t event.Cycle) event.Cycle {
+	s := n.sys
+	prev := core.RegionInvalid
+	exclusiveRegion := true // RegionScout only routes direct in unshared regions
+	if n.rca != nil {
+		prev = n.rca.Probe(region).State
+		exclusiveRegion = prev.Exclusive()
+	}
+	dist := s.topo.ProcToMem(n.id, mc)
+	reqLat := s.cfg.Net.DirectRequestLatency(dist)
+	arrive := t + event.Cycle(reqLat)
+
+	switch kind {
+	case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch,
+		coherence.ReqReadExcl, coherence.ReqPrefetchExcl:
+		// Exclusive regions grant reads exclusively; externally clean
+		// regions grant shared copies (instruction fetches, and loads under
+		// the §3.1 read-shared alternative).
+		granted := grantedLineState(kind, !exclusiveRegion)
+		if s.DebugChecks {
+			// A direct exclusive grant requires no remote copies at all; a
+			// direct shared grant only requires that memory is current (no
+			// remote modifiable copy).
+			valid, writable := s.lineStateAnywhere(n.id, line)
+			if granted == coherence.Shared && writable {
+				panic(fmt.Sprintf("sim: p%d direct shared read of %x with a remote writable copy", n.id, uint64(line)))
+			}
+			if granted != coherence.Shared && valid {
+				panic(fmt.Sprintf("sim: p%d direct exclusive grant of %x with remote copies", n.id, uint64(line)))
+			}
+		}
+		n.l2.Allocate(line, granted)
+		if granted == coherence.Modified {
+			s.trackWrite(n.id, line)
+		}
+		ready := s.mcs[mc].Read(arrive, true, 0)
+		ready += event.Cycle(s.cfg.Net.TransferLatency(dist))
+		arrive = s.dnet.Deliver(n.id, ready)
+		if n.rca != nil {
+			n.rca.SetState(region, n.protocol.AfterDirect(prev, kind, granted == coherence.Exclusive || granted == coherence.Modified))
+		}
+	case coherence.ReqDCBF:
+		if s.DebugChecks {
+			if valid, _ := s.lineStateAnywhere(n.id, line); valid {
+				panic(fmt.Sprintf("sim: p%d direct DCBF of %x with remote copies", n.id, uint64(line)))
+			}
+		}
+		if st := n.l2.Lookup(line); st.Valid() {
+			if st.Dirty() {
+				s.mcs[mc].Write(arrive, true)
+			}
+			n.l2.Invalidate(line)
+		}
+		if n.rca != nil {
+			n.rca.SetState(region, n.protocol.AfterDirect(prev, kind, false))
+		}
+	default:
+		panic(fmt.Sprintf("sim: kind %v cannot be routed direct", kind))
+	}
+	return arrive
+}
+
+// performBroadcast executes a broadcast at its bus-grant time: snoop every
+// other processor (line state and region state), classify the broadcast
+// with the oracle, apply the conventional MOESI actions and the region-
+// protocol transitions, and schedule the data delivery.
+func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, onComplete func(event.Cycle)) {
+	s := n.sys
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		// A snooped processor whose RCA (or cached-region hash) proves the
+		// region absent need not probe its cache tags at all.
+		if (o.rca != nil && o.rca.Probe(region) == nil) ||
+			(o.crh != nil && !o.crh.Present(region)) {
+			s.run.SnoopTagFiltered++
+		} else {
+			s.run.SnoopTagLookups++
+		}
+	}
+
+	// An upgrade whose line was invalidated while the request was queued
+	// must fetch the data after all.
+	if kind == coherence.ReqUpgrade && !n.l2.Lookup(line).Valid() {
+		kind = coherence.ReqReadExcl
+	}
+
+	// --- Snoop phase (state observed before any action). ---
+	remoteValid, remoteWritable := false, false
+	owner := -1
+	regionClean, regionDirty := false, false
+	crhPresent := false
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		if st := o.l2.Lookup(line); st.Valid() {
+			remoteValid = true
+			if st.Dirty() || st == coherence.Exclusive {
+				remoteWritable = true
+			}
+			if st.Dirty() {
+				owner = o.id
+			}
+		}
+		if n.rca != nil {
+			p, m := o.l2.RegionSnoop(s.geom, region)
+			if p && !m {
+				regionClean = true
+			}
+			if m {
+				regionDirty = true
+			}
+		}
+		if o.crh != nil && o.crh.Present(region) {
+			// RegionScout: the imprecise cached-region-hash answer — hash
+			// collisions make this conservative where CGCT's precise
+			// region snoop is exact.
+			crhPresent = true
+		}
+	}
+
+	// --- Oracle classification (Figure 2). ---
+	cat := stats.CategoryOf(kind)
+	if oracle.Unnecessary(kind, remoteValid, remoteWritable) {
+		s.run.OracleUnnecessary[cat]++
+	} else {
+		s.run.OracleNecessary[cat]++
+	}
+
+	granted := grantedLineState(kind, remoteValid)
+	requesterExclusive := granted == coherence.Exclusive || granted == coherence.Modified
+
+	// --- Conventional protocol actions on the other processors. ---
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		st := o.l2.Lookup(line)
+		if st.Valid() {
+			switch kind {
+			case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch:
+				switch st {
+				case coherence.Modified:
+					o.l2.SetState(line, coherence.Owned)
+					o.l1d.SetState(line, coherence.Shared)
+				case coherence.Exclusive:
+					o.l2.SetState(line, coherence.Shared)
+					o.l1d.SetState(line, coherence.Shared)
+				}
+			case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade,
+				coherence.ReqDCBZ, coherence.ReqDCBI:
+				o.l2.Invalidate(line)
+			case coherence.ReqDCBF:
+				if st.Dirty() {
+					home := s.topo.HomeController(addr.Addr(line))
+					s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+				}
+				o.l2.Invalidate(line)
+			}
+		}
+		// RegionScout: observing any external request for the region ends
+		// its not-shared status.
+		if o.nsrt != nil {
+			o.nsrt.Observe(region)
+		}
+		// Region protocol: external-request transitions (Figure 5).
+		if o.rca != nil {
+			if e := o.rca.Probe(region); e != nil {
+				next, outcome := o.protocol.AfterExternal(e.State, kind, requesterExclusive, e.LineCount)
+				if outcome == core.ExtSelfInvalidated {
+					o.rca.Stats.SelfInvals++
+					o.rca.SetState(region, core.RegionInvalid)
+				} else if next != e.State {
+					o.rca.Stats.DowngradeExt++
+					o.rca.SetState(region, next)
+				}
+			}
+		}
+	}
+
+	// --- Region protocol on the requester (Figures 3 and 4). ---
+	if n.rca != nil {
+		resp := coherence.SnoopResponse{RegionClean: regionClean, RegionDirty: regionDirty, OwnerID: owner}
+		prev := core.RegionInvalid
+		if e := n.rca.Probe(region); e != nil {
+			prev = e.State
+		}
+		next := n.protocol.AfterBroadcast(prev, kind, requesterExclusive, resp)
+		if next.Valid() {
+			if prev.Valid() {
+				n.rca.SetState(region, next)
+			} else {
+				// Allocation may displace a victim region, whose lines are
+				// flushed by the RCA's OnEvict hook first.
+				n.rca.Allocate(region, next, s.topo.HomeControllerRegion(region))
+				n.maybeProbeNextRegion(region, grant)
+			}
+		}
+	}
+
+	// RegionScout learning: a snoop that found no region presence records
+	// the region as globally unshared.
+	if n.nsrt != nil && !crhPresent {
+		n.nsrt.Insert(region)
+	}
+
+	// --- Requester cache update. ---
+	switch kind {
+	case coherence.ReqUpgrade:
+		n.l2.SetState(line, coherence.Modified)
+		n.l2.Touch(line)
+		s.trackWrite(n.id, line)
+	case coherence.ReqDCBZ:
+		n.l2.Allocate(line, coherence.Modified)
+		s.trackWrite(n.id, line)
+	case coherence.ReqDCBI:
+		n.l2.Invalidate(line)
+	case coherence.ReqDCBF:
+		if st := n.l2.Lookup(line); st.Valid() {
+			if st.Dirty() {
+				home := s.topo.HomeController(addr.Addr(line))
+				s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+			}
+			n.l2.Invalidate(line)
+		}
+	default: // data-bearing kinds
+		n.l2.Allocate(line, granted)
+		if granted == coherence.Modified {
+			s.trackWrite(n.id, line)
+		}
+	}
+
+	if s.DebugChecks {
+		s.checkRegionExclusivity(region)
+		s.checkLineInvariants(line)
+	}
+
+	// --- Timing. ---
+	snoopDone := grant + event.Cycle(s.cfg.Net.SnoopLatency)
+	arrive := snoopDone
+	if kind.WantsData() {
+		if owner >= 0 {
+			// Cache-to-cache transfer from the dirty owner.
+			s.run.CacheToCache++
+			ready := snoopDone + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToProc(n.id, owner)))
+			arrive = s.dnet.Deliver(n.id, ready)
+		} else {
+			// Memory supplies the data; DRAM overlaps the snoop, so only
+			// the non-overlapped tail is exposed (Figure 6).
+			home := s.topo.HomeController(addr.Addr(line))
+			ready := s.mcs[home].Read(grant, false, s.cfg.Net.SnoopLatency+s.cfg.Net.DRAMOverlapExtra)
+			ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(n.id, home)))
+			arrive = s.dnet.Deliver(n.id, ready)
+		}
+	}
+	s.queue.At(arrive, func(now event.Cycle) {
+		n.completeFill(kind, line, now, onComplete)
+	})
+}
+
+// completeFill finishes a request: fill the L1s for demand kinds, release
+// the MSHR, wake waiters, and resume the processor if it stalled on this
+// line.
+func (n *node) completeFill(kind coherence.ReqKind, line addr.LineAddr, now event.Cycle, onComplete func(event.Cycle)) {
+	n.outstanding--
+	if n.outstanding < 0 {
+		panic("sim: outstanding request underflow")
+	}
+	if kind == coherence.ReqRead || kind == coherence.ReqIFetch {
+		n.demandCompleted(now)
+	}
+	if kind.IsPrefetch() {
+		n.outstandingPf--
+	}
+	if n.l2.Lookup(line).Valid() {
+		switch kind {
+		case coherence.ReqRead:
+			n.fillL1D(line, false)
+		case coherence.ReqIFetch:
+			n.l1i.Allocate(line, coherence.Shared)
+		case coherence.ReqReadExcl, coherence.ReqUpgrade, coherence.ReqDCBZ:
+			n.fillL1D(line, true)
+		}
+	}
+	if m, ok := n.pending[line]; ok {
+		delete(n.pending, line)
+		for _, w := range m.waiters {
+			w(now)
+		}
+	}
+	n.resumeIfWaiting(line, now)
+	if onComplete != nil {
+		onComplete(now)
+	}
+	n.maybeFinish()
+}
+
+// checkNonBroadcastSafe asserts (tests only) that completing a request
+// with no external request at all was coherent: local completions are only
+// legal when no other processor caches the line. (Direct routes are
+// checked in applyDirectRoute, where the granted state is known.)
+func (s *System) checkNonBroadcastSafe(n *node, kind coherence.ReqKind, line addr.LineAddr, route string) {
+	if valid, writable := s.lineStateAnywhere(n.id, line); valid {
+		panic(fmt.Sprintf("sim: processor %d %s-routed %v for line %x while a remote copy exists (valid=%v writable=%v)",
+			n.id, route, kind, uint64(line), valid, writable))
+	}
+}
+
+// checkLineInvariants asserts (tests only) the MOESI single-writer
+// invariants for one line: at most one E/M/O copy system-wide, and an E or
+// M copy excludes all other copies.
+func (s *System) checkLineInvariants(line addr.LineAddr) {
+	owners, copies := 0, 0
+	exclusiveHolder := -1
+	for _, o := range s.nodes {
+		st := o.l2.Lookup(line)
+		if !st.Valid() {
+			continue
+		}
+		copies++
+		switch st {
+		case coherence.Exclusive, coherence.Modified:
+			owners++
+			exclusiveHolder = o.id
+		case coherence.Owned:
+			owners++
+		}
+	}
+	if owners > 1 {
+		panic(fmt.Sprintf("sim: line %x has %d owners", uint64(line), owners))
+	}
+	if exclusiveHolder >= 0 && copies > 1 {
+		panic(fmt.Sprintf("sim: line %x exclusive at p%d but %d copies exist",
+			uint64(line), exclusiveHolder, copies))
+	}
+}
+
+// checkRegionExclusivity asserts (tests only) that no two processors hold
+// exclusive region states for the same region simultaneously.
+func (s *System) checkRegionExclusivity(region addr.RegionAddr) {
+	holder := -1
+	for _, o := range s.nodes {
+		if o.rca == nil {
+			continue
+		}
+		e := o.rca.Probe(region)
+		if e == nil || !e.State.Exclusive() {
+			continue
+		}
+		if holder >= 0 {
+			panic(fmt.Sprintf("sim: processors %d and %d both hold region %x exclusively", holder, o.id, uint64(region)))
+		}
+		holder = o.id
+	}
+}
+
+// maybeProbeNextRegion implements the §6 region-state prefetch: when a new
+// region entry was just allocated and the preceding region is also present
+// (evidence of a sequential stream), probe the global state of the next
+// region. The probe is a broadcast that requests no data — it only gathers
+// the region snoop response, downgrading remote exclusive entries exactly
+// as a shared read would, so the prober and the remote holders end up
+// mutually consistent.
+func (n *node) maybeProbeNextRegion(region addr.RegionAddr, now event.Cycle) {
+	s := n.sys
+	if !s.cfg.Proc.RegionPrefetch {
+		return
+	}
+	rb := uint64(s.geom.RegionBytes)
+	prev := addr.RegionAddr(uint64(region) - rb)
+	next := addr.RegionAddr(uint64(region) + rb)
+	if uint64(region) < rb || n.rca.Probe(prev) == nil || n.rca.Probe(next) != nil {
+		return
+	}
+	grant := s.abus.Arbitrate(now)
+	s.run.Windows.Record(grant)
+	s.queue.At(grant, func(at event.Cycle) {
+		n.performRegionProbe(next, at)
+	})
+}
+
+// performRegionProbe executes the probe at its bus-grant time.
+func (n *node) performRegionProbe(region addr.RegionAddr, grant event.Cycle) {
+	s := n.sys
+	if n.rca == nil || n.rca.Probe(region) != nil {
+		return // raced with a demand allocation
+	}
+	regionClean, regionDirty := false, false
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		p, m := o.l2.RegionSnoop(s.geom, region)
+		if p && !m {
+			regionClean = true
+		}
+		if m {
+			regionDirty = true
+		}
+		if o.rca != nil {
+			if e := o.rca.Probe(region); e != nil {
+				// The probe behaves like an external shared read: remote
+				// exclusives downgrade (or self-invalidate when empty) so
+				// that no silent upgrades can invalidate the prober's view.
+				nxt, outcome := o.protocol.AfterExternal(e.State, coherence.ReqIFetch, false, e.LineCount)
+				if outcome == core.ExtSelfInvalidated {
+					o.rca.Stats.SelfInvals++
+					o.rca.SetState(region, core.RegionInvalid)
+				} else if nxt != e.State {
+					o.rca.Stats.DowngradeExt++
+					o.rca.SetState(region, nxt)
+				}
+			}
+		}
+	}
+	resp := coherence.SnoopResponse{RegionClean: regionClean, RegionDirty: regionDirty, OwnerID: -1}
+	st := n.protocol.AfterBroadcast(core.RegionInvalid, coherence.ReqIFetch, false, resp)
+	if st.Valid() {
+		n.rca.Allocate(region, st, s.topo.HomeControllerRegion(region))
+		s.run.RegionProbes++
+	}
+	if s.DebugChecks {
+		s.checkRegionExclusivity(region)
+	}
+}

@@ -1,0 +1,513 @@
+package sim
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/cache"
+	"cgct/internal/coherence"
+	"cgct/internal/core"
+	"cgct/internal/event"
+	"cgct/internal/proc"
+	"cgct/internal/regionscout"
+	"cgct/internal/workload"
+)
+
+// mshr tracks one in-flight fill and the work waiting on it.
+type mshr struct {
+	// waiters run when the fill completes (store-buffer retries; the
+	// stalled processor is resumed separately via demandLine).
+	waiters []func(now event.Cycle)
+}
+
+// storeEntry is one store-buffer slot.
+type storeEntry struct {
+	line addr.LineAddr
+	kind workload.OpKind // OpStore, OpDCBZ or OpDCBF
+}
+
+// node is one processor: caches, optional RCA, prefetcher and the trace
+// consumer state machine.
+type node struct {
+	sys *System
+	id  int
+
+	l1i, l1d *cache.Cache
+	l2       cache.Store
+	rca      *core.RCA
+	protocol core.Protocol
+	crh      *regionscout.CRH
+	nsrt     *regionscout.NSRT
+	pf       *proc.StreamPrefetcher
+
+	gen workload.Generator
+
+	// Execution state.
+	localTime       event.Cycle
+	scheduled       bool // a run-continuation event is pending
+	stalled         bool // blocked waiting for a specific in-flight fill
+	demandLine      addr.LineAddr
+	demandStart     event.Cycle // when the demand stall began
+	storeStalled    bool        // blocked on a full store buffer
+	limitStalled    bool        // blocked on the demand-overlap (MLP) window
+	limitStallStart event.Cycle
+	curOp           workload.Op
+	haveOp          bool
+	finished        bool
+
+	pending           map[addr.LineAddr]*mshr
+	storeBufUsed      int
+	outstanding       int // in-flight fabric requests
+	outstandingDemand int // in-flight demand (load/ifetch) misses
+	outstandingPf     int // in-flight prefetches (bounded by MaxOutstanding)
+	genExhausted      bool
+
+	instructions uint64
+}
+
+// now returns the node's best notion of current time: its own local clock
+// when running ahead of the global queue, the global clock otherwise. Used
+// by cache hooks that fire from fabric context.
+func (n *node) now() event.Cycle {
+	if g := n.sys.queue.Now(); g > n.localTime {
+		return g
+	}
+	return n.localTime
+}
+
+func newNode(s *System, id int, gen workload.Generator) *node {
+	n := &node{
+		sys:     s,
+		id:      id,
+		l1i:     cache.New(fmt.Sprintf("p%d.l1i", id), s.cfg.L1I.SizeBytes, s.cfg.L1I.Assoc, s.cfg.L1I.LineBytes),
+		l1d:     cache.New(fmt.Sprintf("p%d.l1d", id), s.cfg.L1D.SizeBytes, s.cfg.L1D.Assoc, s.cfg.L1D.LineBytes),
+		l2:      cache.New(fmt.Sprintf("p%d.l2", id), s.cfg.L2.SizeBytes, s.cfg.L2.Assoc, s.cfg.L2.LineBytes),
+		gen:     gen,
+		pending: make(map[addr.LineAddr]*mshr),
+	}
+	if s.cfg.L2SectorBytes > 0 {
+		n.l2 = cache.NewSectored(fmt.Sprintf("p%d.l2", id), s.cfg.L2.SizeBytes, s.cfg.L2.Assoc,
+			s.cfg.L2.LineBytes, s.cfg.L2SectorBytes)
+	} else {
+		n.l2 = cache.New(fmt.Sprintf("p%d.l2", id), s.cfg.L2.SizeBytes, s.cfg.L2.Assoc, s.cfg.L2.LineBytes)
+	}
+	if s.cfg.Proc.PrefetchStreams > 0 {
+		n.pf = proc.NewStreamPrefetcher(s.cfg.Proc.PrefetchStreams, s.cfg.Proc.PrefetchRunahead, s.cfg.L2.LineBytes)
+	}
+	if s.cfg.CGCTEnabled {
+		n.rca = core.NewRCA(s.geom, s.cfg.RCA.Sets, s.cfg.RCA.Assoc)
+		n.rca.OnEvict = n.onRegionEvict
+		switch {
+		case s.cfg.RCA.ThreeState:
+			n.protocol = core.ThreeState{}
+		case s.cfg.RCA.ReadSharedDirect:
+			n.protocol = core.SevenStateReadShared{}
+		default:
+			n.protocol = core.SevenState{}
+		}
+	}
+	if s.cfg.Scout.Enabled {
+		n.crh = regionscout.NewCRH(s.cfg.Scout.CRHCounters, s.cfg.RCA.RegionBytes)
+		n.nsrt = regionscout.NewNSRT(s.cfg.Scout.NSRTEntries, s.cfg.Scout.NSRTAssoc, s.cfg.RCA.RegionBytes)
+	}
+	// Inclusion hooks: L2 evictions/invalidations back-invalidate the L1s,
+	// maintain the RCA line counts, and generate write-backs.
+	n.l2.SetHooks(n.onL2Evict, n.onL2Allocate)
+	return n
+}
+
+// schedule queues a run continuation at time t (no-op if one is pending).
+func (n *node) schedule(t event.Cycle) {
+	if n.scheduled || n.finished {
+		return
+	}
+	n.scheduled = true
+	n.sys.queue.At(t, func(now event.Cycle) {
+		n.scheduled = false
+		n.step(now)
+	})
+}
+
+// step runs the processor until it stalls, runs ahead of the batch horizon,
+// or exhausts its trace.
+func (n *node) step(now event.Cycle) {
+	if n.stalled || n.storeStalled || n.limitStalled || n.finished {
+		return
+	}
+	if n.localTime < now {
+		n.localTime = now
+	}
+	for {
+		if !n.haveOp {
+			op, ok := n.gen.Next()
+			if !ok {
+				n.genExhausted = true
+				n.maybeFinish()
+				return
+			}
+			n.curOp = op
+			n.haveOp = true
+			// Charge the non-memory instruction gap at the commit width,
+			// once per op (retries after stalls do not recharge it).
+			gapCycles := (uint64(op.Gap) + uint64(n.sys.cfg.Proc.CommitWidth) - 1) / uint64(n.sys.cfg.Proc.CommitWidth)
+			n.localTime += event.Cycle(gapCycles)
+		}
+		if !n.execOp(n.curOp, n.localTime) {
+			return // stalled; curOp remains current and is retried on resume
+		}
+		n.instructions += uint64(n.curOp.Gap) + 1
+		n.haveOp = false
+		if n.localTime > n.sys.queue.Now()+batchHorizon {
+			n.schedule(n.localTime)
+			return
+		}
+	}
+}
+
+// execOp executes one trace operation beginning at time t. It returns
+// false when the processor must stall (the op stays current and re-runs).
+func (n *node) execOp(op workload.Op, t event.Cycle) bool {
+	switch op.Kind {
+	case workload.OpLoad:
+		return n.execLoad(op, t)
+	case workload.OpIFetch:
+		return n.execIFetch(op, t)
+	case workload.OpStore, workload.OpDCBZ, workload.OpDCBF:
+		return n.execStoreLike(op, t)
+	default:
+		panic(fmt.Sprintf("sim: unknown op kind %v", op.Kind))
+	}
+}
+
+func (n *node) execLoad(op workload.Op, t event.Cycle) bool {
+	line := n.sys.geom.Line(op.Addr)
+	t += event.Cycle(n.sys.cfg.L1D.LatencyCy)
+	if n.l1d.Access(line) != nil {
+		if n.sys.DebugChecks {
+			n.sys.checkRead(n.id, line)
+		}
+		n.localTime = t
+		return true
+	}
+	// The line may be architecturally present (installed at the request's
+	// coherence point) while its data is still in flight; dependent
+	// accesses wait for the data to arrive.
+	if _, busy := n.pending[line]; busy {
+		n.stallOn(line, t)
+		return false
+	}
+	// L1D miss: consult the L2.
+	t += event.Cycle(n.sys.cfg.L2.LatencyCy)
+	if n.l2.AccessHit(line) {
+		if n.sys.DebugChecks {
+			n.sys.checkRead(n.id, line)
+		}
+		n.fillL1D(line, false)
+		n.firePrefetches(line, false, false, t)
+		n.localTime = t
+		return true
+	}
+	// L2 miss: demand read.
+	return n.demandMiss(coherence.ReqRead, line, t)
+}
+
+func (n *node) execIFetch(op workload.Op, t event.Cycle) bool {
+	line := n.sys.geom.Line(op.Addr)
+	t += event.Cycle(n.sys.cfg.L1I.LatencyCy)
+	if n.l1i.Access(line) != nil {
+		n.localTime = t
+		return true
+	}
+	if _, busy := n.pending[line]; busy {
+		n.stallOn(line, t)
+		return false
+	}
+	t += event.Cycle(n.sys.cfg.L2.LatencyCy)
+	if n.l2.AccessHit(line) {
+		n.l1i.Allocate(line, coherence.Shared)
+		n.localTime = t
+		return true
+	}
+	return n.demandMiss(coherence.ReqIFetch, line, t)
+}
+
+// demandMiss handles a load or instruction-fetch L2 miss under the
+// stall-on-Nth-miss model: up to DemandOverlap demand misses proceed in
+// the background (the out-of-order window hides their latency); the core
+// stalls when the window is full, or when the line is already in flight
+// (a true dependence on an outstanding fill). It returns false when the
+// processor must stall.
+func (n *node) demandMiss(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle) bool {
+	if _, busy := n.pending[line]; busy {
+		n.stallOn(line, t)
+		return false
+	}
+	if n.outstandingDemand >= n.sys.cfg.Proc.DemandOverlap {
+		n.limitStalled = true
+		n.limitStallStart = t
+		n.localTime = t
+		return false
+	}
+	n.outstandingDemand++
+	n.sys.run.DemandMisses++
+	n.issueRequest(kind, line, t, nil)
+	if kind == coherence.ReqRead {
+		// The stream engine watches data accesses only (instruction pages
+		// are fetched shared and must not be grabbed exclusively by a
+		// store-trained stream).
+		n.firePrefetches(line, false, true, t)
+	}
+	n.localTime = t
+	return true
+}
+
+// execStoreLike handles stores, DCBZ and DCBF: the processor charges one
+// L1 access cycle and the operation drains through the store buffer.
+func (n *node) execStoreLike(op workload.Op, t event.Cycle) bool {
+	line := n.sys.geom.Line(op.Addr)
+	t += event.Cycle(n.sys.cfg.L1D.LatencyCy)
+	if op.Kind == workload.OpStore {
+		// Fast path: the line is writable in the L1D.
+		if e := n.l1d.Access(line); e != nil && e.State == coherence.Modified {
+			n.localTime = t
+			return true
+		}
+	}
+	if n.storeBufUsed >= n.sys.cfg.Proc.StoreBufferSize {
+		// Store buffer full: stall until a slot frees.
+		n.storeStalled = true
+		n.localTime = t
+		return false
+	}
+	n.storeBufUsed++
+	n.processStore(storeEntry{line: line, kind: op.Kind}, t)
+	n.localTime = t
+	return true
+}
+
+// processStore advances one store-buffer entry at time t. Entries complete
+// in the background; completion frees the slot.
+func (n *node) processStore(se storeEntry, t event.Cycle) {
+	if m, busy := n.pending[se.line]; busy {
+		m.waiters = append(m.waiters, func(now event.Cycle) { n.processStore(se, now) })
+		return
+	}
+	t += event.Cycle(n.sys.cfg.L2.LatencyCy)
+	switch se.kind {
+	case workload.OpStore:
+		st := n.l2.Lookup(se.line)
+		switch {
+		case st == coherence.Modified || st == coherence.Exclusive:
+			// Silent E→M upgrade; no fabric involvement.
+			if st == coherence.Exclusive {
+				n.sys.trackWrite(n.id, se.line)
+			}
+			n.l2.SetState(se.line, coherence.Modified)
+			n.l2.Touch(se.line)
+			n.fillL1D(se.line, true)
+			n.finishStore(t)
+		case st == coherence.Shared || st == coherence.Owned:
+			n.requestForStore(coherence.ReqUpgrade, se, t)
+		default: // not cached: read-for-ownership
+			n.requestForStore(coherence.ReqReadExcl, se, t)
+		}
+	case workload.OpDCBZ:
+		st := n.l2.Lookup(se.line)
+		if st == coherence.Modified || st == coherence.Exclusive {
+			if st == coherence.Exclusive {
+				n.sys.trackWrite(n.id, se.line)
+			}
+			n.l2.SetState(se.line, coherence.Modified)
+			n.l2.Touch(se.line)
+			n.fillL1D(se.line, true)
+			n.finishStore(t)
+			return
+		}
+		n.requestForStore(coherence.ReqDCBZ, se, t)
+	case workload.OpDCBF:
+		n.requestForStore(coherence.ReqDCBF, se, t)
+	}
+}
+
+// requestForStore issues a fabric request on behalf of a store-buffer
+// entry and frees the slot when it completes.
+func (n *node) requestForStore(kind coherence.ReqKind, se storeEntry, t event.Cycle) {
+	n.issueRequest(kind, se.line, t, func(now event.Cycle) {
+		n.finishStore(now)
+	})
+}
+
+// finishStore frees a store-buffer slot and unblocks the processor if it
+// was waiting for one.
+func (n *node) finishStore(now event.Cycle) {
+	n.storeBufUsed--
+	if n.storeBufUsed < 0 {
+		panic("sim: store buffer underflow")
+	}
+	if n.storeStalled {
+		n.storeStalled = false
+		n.schedule(now)
+	}
+	n.maybeFinish()
+}
+
+// stallOn marks the processor blocked waiting for the in-flight fill of
+// line (a true dependence).
+func (n *node) stallOn(line addr.LineAddr, t event.Cycle) {
+	n.stalled = true
+	n.demandLine = line
+	n.demandStart = t
+	n.localTime = t
+}
+
+// resumeIfWaiting unblocks the processor when the line it stalled on has
+// been filled. The stall time is the exposed (non-overlapped) miss
+// latency.
+func (n *node) resumeIfWaiting(line addr.LineAddr, now event.Cycle) {
+	if !n.stalled || n.demandLine != line {
+		return
+	}
+	n.stalled = false
+	if now > n.demandStart {
+		n.sys.run.DemandMissCycles += uint64(now - n.demandStart)
+	}
+	if n.localTime < now {
+		n.localTime = now
+	}
+	// The current op re-executes and should now hit.
+	n.schedule(now)
+}
+
+// demandCompleted retires one demand miss from the overlap window and
+// unblocks a window-stalled core.
+func (n *node) demandCompleted(now event.Cycle) {
+	n.outstandingDemand--
+	if n.outstandingDemand < 0 {
+		panic("sim: demand window underflow")
+	}
+	if n.limitStalled {
+		n.limitStalled = false
+		if now > n.limitStallStart {
+			n.sys.run.DemandMissCycles += uint64(now - n.limitStallStart)
+		}
+		if n.localTime < now {
+			n.localTime = now
+		}
+		n.schedule(now)
+	}
+}
+
+// firePrefetches trains the stream prefetcher on a demand L2 access and
+// issues its hints, subject to the outstanding-request window.
+func (n *node) firePrefetches(line addr.LineAddr, isStore, wasMiss bool, t event.Cycle) {
+	if n.pf == nil {
+		return
+	}
+	for _, h := range n.pf.OnAccess(line, isStore && n.sys.cfg.Proc.ExclusivePrefet, wasMiss) {
+		if n.outstandingPf >= n.sys.cfg.Proc.MaxOutstanding {
+			return
+		}
+		if _, busy := n.pending[h.Line]; busy {
+			continue
+		}
+		if n.l2.Lookup(h.Line).Valid() {
+			continue
+		}
+		if n.sys.cfg.Proc.PrefetchRegionFilter && n.rca != nil {
+			// §6 extension: the region state identifies bad prefetch
+			// candidates — lines in externally dirty regions are likely
+			// cached modified elsewhere and would bounce.
+			if e := n.rca.Probe(n.sys.geom.RegionOfLine(h.Line)); e != nil && e.State.ExternallyDirty() {
+				continue
+			}
+		}
+		kind := coherence.ReqPrefetch
+		if h.Exclusive {
+			kind = coherence.ReqPrefetchExcl
+		}
+		n.outstandingPf++
+		n.issueRequest(kind, h.Line, t, nil)
+	}
+}
+
+// fillL1D installs a line in the L1 data cache (Modified when the store
+// path owns it, Shared otherwise), maintaining inclusion bookkeeping via
+// the cache hooks.
+func (n *node) fillL1D(line addr.LineAddr, modified bool) {
+	st := coherence.Shared
+	if modified {
+		st = coherence.Modified
+	}
+	n.l1d.Allocate(line, st)
+}
+
+// onL2Allocate maintains the RCA line count (inclusion between region
+// state and cache contents).
+func (n *node) onL2Allocate(l cache.Line) {
+	n.sys.trackFill(n.id, l.Addr)
+	if n.rca != nil {
+		n.rca.IncLineCount(n.sys.geom.RegionOfLine(l.Addr))
+	}
+	if n.crh != nil {
+		n.crh.Inc(n.sys.geom.RegionOfLine(l.Addr))
+	}
+}
+
+// onL2Evict handles a line leaving the L2: back-invalidate the L1 copies,
+// maintain the RCA line count, and issue the write-back for dirty
+// capacity evictions. Externally forced invalidations (wasEviction false)
+// do not write back here — the coherence action decides what happens to
+// the data.
+func (n *node) onL2Evict(l cache.Line, wasEviction bool) {
+	n.sys.trackDrop(n.id, l.Addr)
+	n.l1i.Invalidate(l.Addr)
+	n.l1d.Invalidate(l.Addr)
+	if n.rca != nil {
+		n.rca.DecLineCount(n.sys.geom.RegionOfLine(l.Addr))
+	}
+	if n.crh != nil {
+		n.crh.Dec(n.sys.geom.RegionOfLine(l.Addr))
+	}
+	if wasEviction && l.State.Dirty() {
+		n.issueRequest(coherence.ReqWriteback, l.Addr, n.now(), nil)
+	} else if wasEviction && n.sys.dirs != nil {
+		// Directory mode: replacement hint for clean evictions, so the
+		// directory never believes we still hold the line.
+		n.sys.dirEvictNotice(n, l.Addr)
+	}
+}
+
+// onRegionEvict enforces RCA/cache inclusion: before a region entry is
+// displaced, every cached line of the region is flushed (dirty ones are
+// written back directly to the region's home controller — the entry still
+// holds the controller ID).
+func (n *node) onRegionEvict(e core.Entry) {
+	g := n.sys.geom
+	for i := 0; i < g.LinesPerRegion(); i++ {
+		line := g.LineInRegion(e.Region, i)
+		st := n.l2.Lookup(line)
+		if !st.Valid() {
+			continue
+		}
+		if st.Dirty() {
+			n.sys.directWriteback(n, line, e.MemCtrl, n.now())
+		}
+		n.l2.Invalidate(line) // fires onL2Evict: L1 back-inval + count
+	}
+}
+
+// maybeFinish marks the node complete when its trace, store buffer and
+// outstanding requests have all drained.
+func (n *node) maybeFinish() {
+	if n.finished || n.haveOp || n.stalled || n.storeStalled {
+		return
+	}
+	if n.storeBufUsed > 0 || n.outstanding > 0 {
+		return
+	}
+	if !n.genExhausted {
+		return
+	}
+	n.finished = true
+	n.sys.nodeDone(n.now())
+}

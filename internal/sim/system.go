@@ -1,0 +1,249 @@
+// Package sim is the discrete-event timing simulator: it assembles
+// processor nodes (L1I/L1D/L2, optional Region Coherence Array, stream
+// prefetcher, trace consumer), the broadcast address bus, the data network
+// and the memory controllers, and runs a workload to completion.
+//
+// One Run is fully deterministic given (workload, config, seed). Baseline
+// mode broadcasts every fabric request; CGCT mode consults the region
+// protocol first (internal/core) and sends requests directly to memory —
+// or completes them locally — whenever the region state allows.
+package sim
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/bus"
+	"cgct/internal/coherence"
+	"cgct/internal/config"
+	"cgct/internal/event"
+	"cgct/internal/memctrl"
+	"cgct/internal/rng"
+	"cgct/internal/stats"
+	"cgct/internal/topology"
+	"cgct/internal/workload"
+)
+
+// batchHorizon bounds how far a node may run ahead of global time while it
+// is only hitting in its caches, limiting the timing skew other nodes can
+// observe (CPU cycles).
+const batchHorizon = 500
+
+// System is one assembled machine plus its workload.
+type System struct {
+	cfg   config.Config
+	geom  addr.Geometry
+	topo  *topology.Topology
+	queue event.Queue
+	abus  *bus.AddressBus
+	dnet  *bus.DataNet
+	mcs   []*memctrl.Controller
+	nodes []*node
+	dirs  []*directory // non-nil in directory mode
+	dma   *dmaAgent
+	r     *rng.Source // perturbation stream
+
+	// DebugChecks enables the expensive global invariants (used by tests):
+	// every non-broadcast route is validated against the true global cache
+	// state, region exclusivity is checked after every broadcast, and the
+	// data-version checker below verifies that no processor ever reads a
+	// stale copy.
+	DebugChecks bool
+
+	// Data-version checker (allocated by Run when DebugChecks is set):
+	// verGlobal is the committed write version of every line; verNode is
+	// the version each node's cached copy carries. The coherence
+	// guarantee — any valid copy is current — becomes the assertion
+	// verNode[n][line] == verGlobal[line] on every load hit.
+	verGlobal map[addr.LineAddr]uint64
+	verNode   []map[addr.LineAddr]uint64
+
+	run  stats.Run
+	done int
+}
+
+// New assembles a system for the given workload. The workload must provide
+// exactly cfg.Topology.Processors generators.
+func New(cfg config.Config, w workload.Workload, seed uint64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Generators) != cfg.Topology.Processors {
+		return nil, fmt.Errorf("sim: workload has %d generators, config has %d processors",
+			len(w.Generators), cfg.Topology.Processors)
+	}
+	geom, err := cfg.Geometry()
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:  cfg,
+		geom: geom,
+		topo: topo,
+		abus: bus.NewAddressBus(cfg.Net),
+		dnet: bus.NewDataNet(cfg.Topology.Processors, cfg.Net, cfg.L2.LineBytes),
+		r:    rng.New(seed ^ 0xc0ffee_5eed),
+	}
+	for i := 0; i < topo.MemControllers(); i++ {
+		s.mcs = append(s.mcs, memctrl.New(i, cfg.Net.MemCtrlBanks, cfg.Net.DRAMLatency, cfg.Net.DRAMBankOccupancy))
+	}
+	for i := 0; i < cfg.Topology.Processors; i++ {
+		s.nodes = append(s.nodes, newNode(s, i, w.Generators[i]))
+	}
+	if cfg.DirectoryMode {
+		for i := 0; i < topo.MemControllers(); i++ {
+			s.dirs = append(s.dirs, newDirectory(i))
+		}
+	}
+	s.dma = newDMAAgent(s, w.DMATargets, cfg.DMAIntervalCycles)
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg config.Config, w workload.Workload, seed uint64) *System {
+	s, err := New(cfg, w, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes the workload to completion and returns the collected
+// statistics. It may be called once per System.
+func (s *System) Run() *stats.Run {
+	if s.DebugChecks {
+		s.verGlobal = make(map[addr.LineAddr]uint64)
+		s.verNode = make([]map[addr.LineAddr]uint64, len(s.nodes))
+		for i := range s.verNode {
+			s.verNode[i] = make(map[addr.LineAddr]uint64)
+		}
+	}
+	for _, n := range s.nodes {
+		n.schedule(0)
+	}
+	if s.dma != nil {
+		s.dma.start()
+	}
+	s.queue.Run()
+	s.collect()
+	return &s.run
+}
+
+// perturb returns t plus the configured random request perturbation.
+func (s *System) perturb(t event.Cycle) event.Cycle {
+	if s.cfg.PerturbMaxCycles == 0 {
+		return t
+	}
+	return t + event.Cycle(s.r.Uint64n(s.cfg.PerturbMaxCycles+1))
+}
+
+// nodeDone records one node's completion.
+func (s *System) nodeDone(finish event.Cycle) {
+	s.done++
+	if finish > s.run.Cycles {
+		s.run.Cycles = finish
+	}
+}
+
+// collect folds per-component statistics into the run record.
+func (s *System) collect() {
+	for _, mc := range s.mcs {
+		s.run.DRAMReads += mc.Stats.Reads
+		s.run.DRAMWrites += mc.Stats.Writes
+	}
+	s.run.DataTransfers = s.dnet.TotalXfers
+	for _, n := range s.nodes {
+		s.run.Instructions += n.instructions
+		s.run.L2Hits += n.l2.BaseStats().Hits
+		s.run.L2Misses += n.l2.BaseStats().Misses
+		if n.nsrt != nil {
+			s.run.NSRTInserts += n.nsrt.Inserts
+			s.run.NSRTHits += n.nsrt.Hits
+			s.run.NSRTEvicted += n.nsrt.Evicted
+		}
+		if n.rca != nil {
+			st := n.rca.Stats
+			s.run.RCAHits += st.Hits
+			s.run.RCAMisses += st.Misses
+			s.run.RCAEvictions += st.Evictions
+			s.run.RCASelfInvals += st.SelfInvals
+			s.run.RCALineSumAtEvict += st.LineSumAtEvict
+			for i := range st.EvictedByCount {
+				s.run.RCAEvictedByCount[i] += st.EvictedByCount[i]
+			}
+		}
+	}
+}
+
+// Nodes returns the node count (diagnostics).
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// lineStateAnywhere reports whether any node other than exclude caches the
+// line, and whether any such copy is writable-capable (E/O/M). Used by the
+// oracle and the debug invariants.
+func (s *System) lineStateAnywhere(exclude int, l addr.LineAddr) (valid, writable bool) {
+	for _, n := range s.nodes {
+		if n.id == exclude {
+			continue
+		}
+		st := n.l2.Lookup(l)
+		if !st.Valid() {
+			continue
+		}
+		valid = true
+		if st.Dirty() || st == coherence.Exclusive {
+			writable = true
+		}
+	}
+	return valid, writable
+}
+
+// trackFill records that node nid received the current data of line.
+func (s *System) trackFill(nid int, line addr.LineAddr) {
+	if s.verGlobal == nil {
+		return
+	}
+	s.verNode[nid][line] = s.verGlobal[line]
+}
+
+// trackWrite records a committed write by node nid (called once per
+// modifiable-state acquisition; repeated stores to an already-Modified
+// line do not change visibility).
+func (s *System) trackWrite(nid int, line addr.LineAddr) {
+	if s.verGlobal == nil {
+		return
+	}
+	s.verGlobal[line]++
+	s.verNode[nid][line] = s.verGlobal[line]
+}
+
+// trackDrop records that node nid no longer holds line.
+func (s *System) trackDrop(nid int, line addr.LineAddr) {
+	if s.verGlobal == nil {
+		return
+	}
+	delete(s.verNode[nid], line)
+}
+
+// trackExternalWrite records a write by a non-processor agent (DMA).
+func (s *System) trackExternalWrite(line addr.LineAddr) {
+	if s.verGlobal == nil {
+		return
+	}
+	s.verGlobal[line]++
+}
+
+// checkRead asserts node nid's cached copy of line is current.
+func (s *System) checkRead(nid int, line addr.LineAddr) {
+	if s.verGlobal == nil {
+		return
+	}
+	if have, want := s.verNode[nid][line], s.verGlobal[line]; have != want {
+		panic(fmt.Sprintf("sim: p%d read stale data for line %x (version %d, world at %d)",
+			nid, uint64(line), have, want))
+	}
+}

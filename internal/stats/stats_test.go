@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cgct/internal/coherence"
+)
+
+func TestCategoryOf(t *testing.T) {
+	want := map[coherence.ReqKind]Category{
+		coherence.ReqRead:         CatData,
+		coherence.ReqReadExcl:     CatData,
+		coherence.ReqUpgrade:      CatData,
+		coherence.ReqPrefetch:     CatData,
+		coherence.ReqPrefetchExcl: CatData,
+		coherence.ReqWriteback:    CatWriteback,
+		coherence.ReqIFetch:       CatIFetch,
+		coherence.ReqDCBZ:         CatDCB,
+		coherence.ReqDCBF:         CatDCB,
+		coherence.ReqDCBI:         CatDCB,
+	}
+	for k, c := range want {
+		if CategoryOf(k) != c {
+			t.Errorf("CategoryOf(%v) = %v, want %v", k, CategoryOf(k), c)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c := Category(0); c < NCategories; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("category %d has no name", c)
+		}
+	}
+}
+
+func TestTrafficWindows(t *testing.T) {
+	var w TrafficWindows
+	// 3 in window 0, 1 in window 2.
+	w.Record(10)
+	w.Record(50_000)
+	w.Record(99_999)
+	w.Record(250_000)
+	if w.Total() != 4 {
+		t.Errorf("total = %d", w.Total())
+	}
+	if w.Peak() != 3 {
+		t.Errorf("peak = %d", w.Peak())
+	}
+	if got := w.AvgPer100K(400_000); got != 1 {
+		t.Errorf("avg per 100K = %v, want 1", got)
+	}
+	if w.AvgPer100K(0) != 0 {
+		t.Error("zero-length run must give zero rate")
+	}
+}
+
+func TestRunTotals(t *testing.T) {
+	var r Run
+	r.Requests[coherence.ReqRead] = 10
+	r.Requests[coherence.ReqWriteback] = 5
+	r.Broadcasts[coherence.ReqRead] = 8
+	r.OracleUnnecessary[CatData] = 6
+	r.OracleUnnecessary[CatWriteback] = 2
+	if r.TotalRequests() != 15 || r.TotalBroadcasts() != 8 || r.TotalUnnecessary() != 8 {
+		t.Errorf("totals: %d/%d/%d", r.TotalRequests(), r.TotalBroadcasts(), r.TotalUnnecessary())
+	}
+	if r.UnnecessaryFraction() != 1.0 {
+		t.Errorf("unnecessary fraction = %v", r.UnnecessaryFraction())
+	}
+	var empty Run
+	if empty.UnnecessaryFraction() != 0 || empty.AvgDemandMissLatency() != 0 {
+		t.Error("empty run ratios should be 0")
+	}
+	r.DemandMisses = 4
+	r.DemandMissCycles = 100
+	if r.AvgDemandMissLatency() != 25 {
+		t.Errorf("avg miss latency = %v", r.AvgDemandMissLatency())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty sample")
+	}
+	s = Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.CI95 != 0 {
+		t.Errorf("single sample = %+v", s)
+	}
+	s = Summarize([]float64{4, 6})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// sd = sqrt(2); CI = 12.706*sqrt(2)/sqrt(2) = 12.706.
+	if math.Abs(s.CI95-12.706) > 0.01 {
+		t.Errorf("CI95 = %v, want 12.706", s.CI95)
+	}
+	// Identical samples: zero CI.
+	s = Summarize([]float64{3, 3, 3, 3})
+	if s.CI95 != 0 {
+		t.Errorf("CI of constant samples = %v", s.CI95)
+	}
+	// Large n uses the normal approximation.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	s = Summarize(big)
+	if s.Mean != 0.5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	want := 1.96 * 0.502519 / 10 // sd of alternating 0/1 ≈ 0.5025
+	if math.Abs(s.CI95-want) > 0.01 {
+		t.Errorf("CI95 = %v, want ~%v", s.CI95, want)
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(100, 90); got != 10 {
+		t.Errorf("SpeedupPct = %v", got)
+	}
+	if got := SpeedupPct(100, 110); got != -10 {
+		t.Errorf("negative speedup = %v", got)
+	}
+	if SpeedupPct(0, 50) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the trace-file reader: it must
+// either parse cleanly (and then round-trip) or return an error — never
+// panic or hang.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a valid trace and some near-misses.
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, [][]Op{
+		{{Kind: OpLoad, Addr: 0x1000, Gap: 3}, {Kind: OpStore, Addr: 0x1040}},
+		{{Kind: OpDCBZ, Addr: 0x2000}},
+	})
+	f.Add(buf.Bytes())
+	f.Add([]byte("CGCTTRC1"))
+	f.Add([]byte("CGCTTRC1\x00\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		procs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a round trip unchanged.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, procs); err != nil {
+			t.Fatalf("re-encoding parsed trace: %v", err)
+		}
+		again, err := ReadTrace(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing round trip: %v", err)
+		}
+		if len(again) != len(procs) {
+			t.Fatalf("round trip changed processor count")
+		}
+		for p := range procs {
+			if len(again[p]) != len(procs[p]) {
+				t.Fatalf("round trip changed op count")
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cgct/internal/addr"
+)
+
+// Trace file format: a compact binary serialisation of per-processor
+// operation streams, so traces can be captured once (cgcttrace -save),
+// inspected, diffed, and replayed through the simulator deterministically.
+//
+// Layout (little-endian):
+//
+//	magic   [8]byte  "CGCTTRC1"
+//	procs   uint32
+//	per processor:
+//	    count uint64
+//	    ops   count × { kind uint8, gap uint32, addr uint64 }
+//
+// The format is versioned through the magic string; readers reject
+// unknown versions.
+
+// traceMagic identifies version 1 of the trace format.
+var traceMagic = [8]byte{'C', 'G', 'C', 'T', 'T', 'R', 'C', '1'}
+
+// WriteTrace serialises the materialised per-processor op streams to w.
+func WriteTrace(w io.Writer, procs [][]Op) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(procs))); err != nil {
+		return err
+	}
+	for _, ops := range procs {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(ops))); err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := bw.WriteByte(byte(op.Kind)); err != nil {
+				return err
+			}
+			var buf [12]byte
+			binary.LittleEndian.PutUint32(buf[0:4], op.Gap)
+			binary.LittleEndian.PutUint64(buf[4:12], uint64(op.Addr))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserialises a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([][]Op, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: not a CGCT trace file (magic %q)", magic[:])
+	}
+	var procs uint32
+	if err := binary.Read(br, binary.LittleEndian, &procs); err != nil {
+		return nil, err
+	}
+	if procs == 0 || procs > 1024 {
+		return nil, fmt.Errorf("workload: implausible processor count %d", procs)
+	}
+	out := make([][]Op, procs)
+	for p := range out {
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		if count > 1<<31 {
+			return nil, fmt.Errorf("workload: implausible op count %d", count)
+		}
+		ops := make([]Op, count)
+		for i := range ops {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if OpKind(kind) >= NOpKinds {
+				return nil, fmt.Errorf("workload: invalid op kind %d at p%d[%d]", kind, p, i)
+			}
+			var buf [12]byte
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, err
+			}
+			a := binary.LittleEndian.Uint64(buf[4:12])
+			if a > addr.PhysAddrMask {
+				return nil, fmt.Errorf("workload: address %x out of range at p%d[%d]", a, p, i)
+			}
+			ops[i] = Op{
+				Kind: OpKind(kind),
+				Gap:  binary.LittleEndian.Uint32(buf[0:4]),
+				Addr: addr.Addr(a),
+			}
+		}
+		out[p] = ops
+	}
+	return out, nil
+}
+
+// Materialize drains every generator of a workload into op slices (for
+// saving to a trace file). The workload's generators are consumed.
+func Materialize(w Workload, maxPerProc int) [][]Op {
+	out := make([][]Op, len(w.Generators))
+	for i, g := range w.Generators {
+		out[i] = Collect(g, maxPerProc)
+	}
+	return out
+}
+
+// FromOps wraps materialised op streams back into a Workload.
+func FromOps(name string, procs [][]Op, dma []addr.Segment) Workload {
+	gens := make([]Generator, len(procs))
+	for i := range procs {
+		gens[i] = &SliceGenerator{Ops: procs[i]}
+	}
+	return Workload{Name: name, Generators: gens, DMATargets: dma}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	w := MustBuild("tpc-b", Params{Processors: 4, OpsPerProc: 5_000, Seed: 9})
+	procs := Materialize(w, 10_000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(procs) {
+		t.Fatalf("procs = %d, want %d", len(got), len(procs))
+	}
+	for p := range procs {
+		if len(got[p]) != len(procs[p]) {
+			t.Fatalf("p%d: %d ops, want %d", p, len(got[p]), len(procs[p]))
+		}
+		for i := range procs[p] {
+			if got[p][i] != procs[p][i] {
+				t.Fatalf("p%d[%d]: %+v != %+v", p, i, got[p][i], procs[p][i])
+			}
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Corrupt kind byte.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, [][]Op{{{Kind: OpLoad, Addr: 64}}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8+4+8] = 0xff // kind byte of the first op
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt kind accepted")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	procs := [][]Op{{{Kind: OpLoad, Addr: 64}, {Kind: OpStore, Addr: 128}}}
+	if err := WriteTrace(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestFromOpsReplaysIntoWorkload(t *testing.T) {
+	procs := [][]Op{
+		{{Kind: OpLoad, Addr: 64}},
+		{{Kind: OpStore, Addr: 128}},
+	}
+	w := FromOps("replay", procs, nil)
+	if w.Name != "replay" || len(w.Generators) != 2 {
+		t.Fatalf("workload = %+v", w)
+	}
+	op, ok := w.Generators[1].Next()
+	if !ok || op.Kind != OpStore {
+		t.Errorf("replayed op = %+v", op)
+	}
+}
