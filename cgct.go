@@ -25,6 +25,7 @@
 package cgct
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -260,8 +261,23 @@ func buildConfig(o Options) (config.Config, Options) {
 	return cfg, o
 }
 
+// ResolveConfig exposes the Options → machine-config mapping: it returns
+// the fully resolved internal configuration plus a normalised copy of o
+// with defaults applied. The serving layer hashes both into
+// content-addressed result-cache keys.
+func ResolveConfig(o Options) (config.Config, Options) {
+	return buildConfig(o)
+}
+
 // Run simulates one benchmark under the given options.
 func Run(benchmark string, o Options) (*Result, error) {
+	return RunContext(context.Background(), benchmark, o)
+}
+
+// RunContext is Run with cancellation: the simulation aborts (returning
+// ctx.Err()) shortly after ctx is cancelled, instead of running the
+// workload to completion.
+func RunContext(ctx context.Context, benchmark string, o Options) (*Result, error) {
 	cfg, o2 := buildConfig(o)
 	w, err := workload.Build(benchmark, workload.Params{
 		Processors: o2.Processors,
@@ -276,7 +292,10 @@ func Run(benchmark string, o Options) (*Result, error) {
 		return nil, err
 	}
 	system.DebugChecks = o.DebugChecks
-	run := system.Run()
+	run, err := system.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	return summarize(benchmark, o2, run), nil
 }
 

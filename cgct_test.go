@@ -1,11 +1,40 @@
 package cgct_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"cgct"
 )
+
+// TestRunContextCancel: a cancelled context aborts the simulation instead
+// of running the workload to completion.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first event batch completes
+	_, err := cgct.RunContext(ctx, "ocean", cgct.Options{OpsPerProc: 200_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A deadline landing mid-run must abort promptly too.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err = cgct.RunContext(ctx2, "ocean", cgct.Options{OpsPerProc: 2_000_000})
+	if err == nil {
+		t.Skip("machine fast enough to finish 2M ops inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
 
 func TestBenchmarksList(t *testing.T) {
 	paper := cgct.PaperBenchmarks()

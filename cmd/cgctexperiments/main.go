@@ -25,6 +25,10 @@ import (
 // printed tables.
 var csvDir string
 
+// csvFailed records any CSV write error; main exits nonzero when set, so
+// a partial --csv directory can't masquerade as a successful export.
+var csvFailed bool
+
 // emit prints a rendered table and mirrors it to <csvDir>/<name>.csv.
 func emit(name string, header []string, rows [][]string) {
 	fmt.Println(experiments.Render(header, rows))
@@ -34,15 +38,21 @@ func emit(name string, header []string, rows [][]string) {
 	path := filepath.Join(csvDir, name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+		csvFailed = true
 		return
 	}
 	w := csv.NewWriter(f)
-	_ = w.Write(header)
+	_ = w.Write(header) // errors surface via w.Error() after Flush
 	_ = w.WriteAll(rows)
 	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+		csvFailed = true
+	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+		csvFailed = true
 	}
 }
 
@@ -91,14 +101,17 @@ func main() {
 		for _, name := range []string{"table1", "table2", "fig6", "fig2", "fig7", "fig8", "fig9", "fig10", "evictions", "ablation", "fabric", "energy", "sectoring"} {
 			known[name](p)
 		}
-		return
+	} else {
+		fn, ok := known[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		fn(p)
 	}
-	fn, ok := known[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if csvFailed {
+		os.Exit(1)
 	}
-	fn(p)
 }
 
 func printTable1() {

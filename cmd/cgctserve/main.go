@@ -1,0 +1,159 @@
+// Command cgctserve exposes the CGCT simulator as an HTTP/JSON service:
+// simulation and experiment jobs flow through a bounded admission queue
+// into a bounded worker pool, backed by a content-addressed result cache
+// with singleflight deduplication.
+//
+// Usage:
+//
+//	cgctserve -addr :8080 -workers 8 -queue 64 -cache 1024
+//	cgctserve -smoke            # self-test: serve, submit, verify, drain
+//
+// API (see README "Running the server" for curl examples):
+//
+//	POST   /v1/jobs            submit {"benchmark":"tpc-w","options":{...}}
+//	GET    /v1/jobs/{id}       job state, queue position, timings
+//	GET    /v1/jobs/{id}/result  full stats JSON
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/metrics         queue/worker/cache/latency metrics
+//	GET    /v1/healthz         liveness (503 while draining)
+//
+// On SIGTERM/SIGINT the server stops admitting work (503), drains running
+// jobs up to -drain, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cgct"
+	"cgct/internal/server"
+	"cgct/internal/server/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission queue capacity (overflow gets 429)")
+		cache   = flag.Int("cache", 1024, "result cache capacity, entries (LRU)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		smoke   = flag.Bool("smoke", false, "serve on a loopback port, run a client round trip, and exit")
+	)
+	flag.Parse()
+
+	opts := server.Options{Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache}
+	if *smoke {
+		if err := runSmoke(opts, *drain); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+	if err := serve(*addr, opts, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the server until SIGTERM/SIGINT, then drains and exits.
+func serve(addr string, opts server.Options, drainTimeout time.Duration) error {
+	s := server.New(opts)
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Printf("cgctserve: listening on %s (%d workers, queue %d, cache %d)\n",
+		addr, s.Manager().Metrics().Workers, opts.QueueCapacity, opts.CacheEntries)
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "cgctserve: signal received, draining (deadline %s)\n", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := s.Manager().Drain(dctx)              // reject new work, finish running jobs
+	shutdownErr := hs.Shutdown(context.Background()) // then close the listener
+	if drainErr != nil {
+		return fmt.Errorf("drain: running jobs force-cancelled after %s: %w", drainTimeout, drainErr)
+	}
+	return shutdownErr
+}
+
+// runSmoke is the end-to-end self-test: start on a loopback port, push a
+// tiny job through the whole lifecycle with the Go client, verify the
+// cache dedupes a resubmission, and drain.
+func runSmoke(opts server.Options, drainTimeout time.Duration) error {
+	s := server.New(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	base := "http://" + ln.Addr().String()
+	c := client.New(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fmt.Printf("smoke: serving on %s\n", base)
+
+	if !c.Healthy(ctx) {
+		return errors.New("healthz failed")
+	}
+	req := server.JobRequest{Benchmark: "ocean", Options: cgct.Options{OpsPerProc: 20_000}}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("smoke: job %s submitted\n", st.ID)
+	if st, err = c.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("job ended %q: %s", st.State, st.Error)
+	}
+	var res cgct.Result
+	if _, err := c.Result(ctx, st.ID, &res); err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	fmt.Printf("smoke: %s done in %d ms: %d cycles, %d requests\n", st.ID, st.ElapsedMs, res.Cycles, res.Requests)
+
+	// Resubmit the identical config: must be served from the cache.
+	st2, err := c.Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("resubmit: %w", err)
+	}
+	if st2, err = c.Wait(ctx, st2.ID, 10*time.Millisecond); err != nil {
+		return fmt.Errorf("wait 2: %w", err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if !st2.CacheHit || m.Cache.Misses != 1 {
+		return fmt.Errorf("resubmission not deduped: cache_hit=%t misses=%d", st2.CacheHit, m.Cache.Misses)
+	}
+	fmt.Printf("smoke: resubmission served from cache (hit rate %.2f, p50 %.0f ms)\n", m.CacheHitRate, m.LatencyMsP50)
+
+	dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer dcancel()
+	if err := s.Manager().Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

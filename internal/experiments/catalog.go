@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Canonical returns p with defaults applied, execution-only knobs cleared,
+// and the benchmark list in canonical order — the form hashed into
+// content-addressed job keys. Two Params that canonicalise identically
+// produce identical experiment output.
+func (p Params) Canonical() Params {
+	p = p.withDefaults()
+	p.Parallel = 0
+	p.Benchmarks = p.sortedBenchmarks()
+	return p
+}
+
+// catalog maps experiment names (the cmd/cgctexperiments -experiment
+// values) to runners returning JSON-serialisable row slices.
+var catalog = map[string]func(Params) any{
+	"table1":    func(Params) any { return Table1() },
+	"table2":    func(Params) any { return Table2() },
+	"fig2":      func(p Params) any { return Figure2(p) },
+	"fig6":      func(Params) any { return Figure6() },
+	"fig7":      func(p Params) any { return Figure7(p) },
+	"fig8":      func(p Params) any { return Figure8(p) },
+	"fig9":      func(p Params) any { return Figure9(p) },
+	"fig10":     func(p Params) any { return Figure10(p) },
+	"evictions": func(p Params) any { return Evictions(p) },
+	"ablation":  func(p Params) any { return Ablation(p) },
+	"fabric":    func(p Params) any { return Fabric(p, []int{4, 16}) },
+	"energy":    func(p Params) any { return Energy(p) },
+	"sectoring": func(p Params) any { return Sectoring(p) },
+}
+
+// Names lists the runnable experiment names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether name identifies a runnable experiment.
+func Known(name string) bool {
+	_, ok := catalog[name]
+	return ok
+}
+
+// RunByName runs one named experiment and returns its rows (a slice of the
+// experiment's row type, ready for JSON encoding).
+func RunByName(name string, p Params) (any, error) {
+	fn, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return fn(p), nil
+}

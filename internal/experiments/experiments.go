@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 
 	"cgct"
+	"cgct/internal/runcache"
 )
 
 // Params tunes experiment cost. Zero values select the defaults used for
@@ -50,41 +52,29 @@ type runKey struct {
 	seed    uint64
 }
 
+// String renders the canonical cache key.
+func (k runKey) String() string {
+	return fmt.Sprintf("%s|cgct=%t|region=%d|sets=%d|seed=%d", k.bench, k.cgctOn, k.region, k.rcaSets, k.seed)
+}
+
 // runner executes and caches simulation runs, fanning independent runs out
-// over a worker pool.
+// over a worker pool. The cache is singleflight: N concurrent get() calls
+// on the same key cost exactly one simulation (previously both checked the
+// map, missed, and ran the full simulation twice).
 type runner struct {
 	p     Params
-	mu    sync.Mutex
-	cache map[runKey]*cgct.Result
-	sem   chan struct{}
+	cache *runcache.Cache[*cgct.Result]
+	run   func(k runKey) (*cgct.Result, error) // swappable in tests
 }
 
 func newRunner(p Params) *runner {
-	return &runner{
-		p:     p,
-		cache: make(map[runKey]*cgct.Result),
-		sem:   make(chan struct{}, p.Parallel),
-	}
+	r := &runner{p: p, cache: runcache.New[*cgct.Result](0, p.Parallel)}
+	r.run = r.simulate
+	return r
 }
 
-// get runs (or fetches) one simulation.
-func (r *runner) get(k runKey) *cgct.Result {
-	r.mu.Lock()
-	if res, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-	r.sem <- struct{}{}
-	defer func() { <-r.sem }()
-	// Re-check after acquiring a slot (another worker may have finished it).
-	r.mu.Lock()
-	if res, ok := r.cache[k]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-	res, err := cgct.Run(k.bench, cgct.Options{
+func (r *runner) simulate(k runKey) (*cgct.Result, error) {
+	return cgct.Run(k.bench, cgct.Options{
 		OpsPerProc:    r.p.OpsPerProc,
 		Seed:          k.seed,
 		CGCT:          k.cgctOn,
@@ -92,12 +82,16 @@ func (r *runner) get(k runKey) *cgct.Result {
 		RCASets:       k.rcaSets,
 		PerturbCycles: 40, // Alameldeen-style perturbation for CIs
 	})
+}
+
+// get runs (or fetches) one simulation.
+func (r *runner) get(k runKey) *cgct.Result {
+	res, err := r.cache.Do(context.Background(), k.String(), func(context.Context) (*cgct.Result, error) {
+		return r.run(k)
+	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err)) // static inputs; cannot fail
 	}
-	r.mu.Lock()
-	r.cache[k] = res
-	r.mu.Unlock()
 	return res
 }
 

@@ -3,7 +3,12 @@ package experiments
 import (
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"cgct"
 )
 
 // quickParams keeps experiment tests fast: two benchmarks, tiny traces.
@@ -160,6 +165,72 @@ func TestRunnerCaches(t *testing.T) {
 	b := r.get(k)
 	if a != b {
 		t.Error("runner did not cache")
+	}
+}
+
+// TestRunnerSingleflight pins the duplicate-work fix: N concurrent get()
+// calls on one key must run exactly one simulation, not N.
+func TestRunnerSingleflight(t *testing.T) {
+	p := Params{OpsPerProc: 3_000, Seeds: []uint64{1}, Benchmarks: []string{"ocean"}}.withDefaults()
+	r := newRunner(p)
+	var execs atomic.Int32
+	release := make(chan struct{})
+	r.run = func(k runKey) (*cgct.Result, error) {
+		execs.Add(1)
+		<-release // hold every would-be duplicate in the race window
+		return &cgct.Result{Benchmark: k.bench, Seed: k.seed}, nil
+	}
+	const n = 16
+	k := runKey{bench: "ocean", seed: 1}
+	results := make([]*cgct.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.get(k)
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d concurrent get() calls ran the simulation %d times, want exactly 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers got different result pointers")
+		}
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	rows, err := RunByName("table1", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == nil {
+		t.Fatal("nil rows")
+	}
+	if _, err := RunByName("nope", Params{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Names()) != 13 || !Known("fig8") {
+		t.Fatalf("catalog = %v", Names())
+	}
+}
+
+func TestParamsCanonical(t *testing.T) {
+	a := Params{Benchmarks: []string{"tpc-h", "ocean"}, Parallel: 7}.Canonical()
+	b := Params{Benchmarks: []string{"ocean", "tpc-h"}, Parallel: 2}.Canonical()
+	if a.Parallel != 0 || b.Parallel != 0 {
+		t.Error("Parallel must not survive canonicalisation")
+	}
+	if len(a.Benchmarks) != 2 || a.Benchmarks[0] != b.Benchmarks[0] || a.Benchmarks[1] != b.Benchmarks[1] {
+		t.Errorf("benchmark order not canonical: %v vs %v", a.Benchmarks, b.Benchmarks)
+	}
+	if a.OpsPerProc == 0 || len(a.Seeds) == 0 {
+		t.Error("defaults not applied")
 	}
 }
 

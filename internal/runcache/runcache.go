@@ -1,0 +1,167 @@
+// Package runcache is the shared simulation-result engine behind both the
+// experiments harness and the HTTP job server: a content-addressed result
+// cache with singleflight deduplication (N concurrent requests for the
+// same key cost one computation), an LRU bound on resident entries, and an
+// optional concurrency limit on the compute function.
+//
+// Keys are opaque strings; callers derive them from a canonical encoding
+// of everything that determines the result (machine config, workload,
+// seed — see config.Hash). Errors are never cached: a failed computation
+// is forgotten so a later request retries it.
+package runcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// entry tracks one key, either in flight (elem == nil, done open) or
+// resident (elem != nil, done closed).
+type entry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	elem *list.Element
+}
+
+// Cache is a singleflight, LRU-bounded result cache. The zero value is not
+// usable; construct with New.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	max     int // max resident entries; <= 0 means unbounded
+	entries map[string]*entry[V]
+	lru     *list.List    // of string keys; front = most recently used
+	sem     chan struct{} // nil = unlimited compute concurrency
+
+	hits, misses, evictions uint64
+}
+
+// Stats is a point-in-time snapshot of cache behaviour. Hits counts both
+// resident-entry hits and singleflight joins (requests that waited on an
+// in-flight computation instead of starting their own).
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	InFlight  int    `json:"in_flight"`
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// New builds a cache holding at most maxEntries completed results
+// (<= 0: unbounded) and running at most parallel compute functions at once
+// (<= 0: unlimited).
+func New[V any](maxEntries, parallel int) *Cache[V] {
+	c := &Cache[V]{
+		max:     maxEntries,
+		entries: make(map[string]*entry[V]),
+		lru:     list.New(),
+	}
+	if parallel > 0 {
+		c.sem = make(chan struct{}, parallel)
+	}
+	return c
+}
+
+// Do returns the cached value for key, joins an in-flight computation for
+// it, or — as the singleflight leader — runs fn to produce it. The leader
+// runs fn under the cache's concurrency limit with the leader's ctx; a
+// follower whose ctx is cancelled while waiting returns ctx.Err() without
+// disturbing the leader. fn's error is returned to the leader and every
+// current follower, then forgotten.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (V, error) {
+	var zero V
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil { // resident
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e.val, nil
+		}
+		// In flight: join the leader.
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	e := &entry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	finish := func(val V, err error) (V, error) {
+		c.mu.Lock()
+		e.val, e.err = val, err
+		if err == nil {
+			e.elem = c.lru.PushFront(key)
+			for c.max > 0 && c.lru.Len() > c.max {
+				back := c.lru.Back()
+				delete(c.entries, back.Value.(string))
+				c.lru.Remove(back)
+				c.evictions++
+			}
+		} else {
+			delete(c.entries, key) // errors are not cached
+		}
+		c.mu.Unlock()
+		close(e.done)
+		return val, err
+	}
+
+	if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+		case <-ctx.Done():
+			return finish(zero, ctx.Err())
+		}
+		defer func() { <-c.sem }()
+	}
+	// Re-check ctx after (possibly) queueing for a compute slot.
+	if err := ctx.Err(); err != nil {
+		return finish(zero, err)
+	}
+	val, err := fn(ctx)
+	return finish(val, err)
+}
+
+// Contains reports whether key is resident or in flight — i.e. whether a
+// Do for it right now would be served without a fresh computation.
+func (c *Cache[V]) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		InFlight:  len(c.entries) - c.lru.Len(),
+	}
+}
+
+// Len returns the number of resident (completed) entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,170 @@
+package runcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleflightOneExecution(t *testing.T) {
+	c := New[int](0, 0)
+	var execs atomic.Int32
+	release := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				execs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the goroutines pile up on the in-flight entry, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times for %d concurrent identical keys, want 1", got, n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("results[%d] = %d", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", s, n-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](0, 0)
+	boom := errors.New("boom")
+	calls := 0
+	fail := func(context.Context) (int, error) { calls++; return 0, boom }
+	if _, err := c.Do(context.Background(), "k", fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error must not be cached)", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2, 0)
+	ctx := context.Background()
+	mk := func(i int) func(context.Context) (int, error) {
+		return func(context.Context) (int, error) { return i, nil }
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do(ctx, fmt.Sprintf("k%d", i), mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// k0 was evicted (least recently used): recomputing it must miss.
+	before := c.Stats().Misses
+	if _, err := c.Do(ctx, "k0", mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != before+1 {
+		t.Fatalf("misses = %d, want %d (k0 should have been evicted)", got, before+1)
+	}
+	if got := c.Stats().Evictions; got == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	c := New[int](2, 0)
+	ctx := context.Background()
+	set := func(k string, v int) {
+		t.Helper()
+		if _, err := c.Do(ctx, k, func(context.Context) (int, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set("a", 1)
+	set("b", 2)
+	set("a", 1) // touch a: b becomes LRU
+	set("c", 3) // evicts b
+	before := c.Stats().Misses
+	set("a", 1)
+	if c.Stats().Misses != before {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	set("b", 2)
+	if c.Stats().Misses != before+1 {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestFollowerCancellation(t *testing.T) {
+	c := New[int](0, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _ = c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, "k", func(context.Context) (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	c := New[int](0, 2)
+	var cur, peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = c.Do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) (int, error) {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(5 * time.Millisecond)
+				cur.Add(-1)
+				return i, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("observed %d concurrent computations, limit 2", p)
+	}
+}

@@ -1,0 +1,164 @@
+// Package client is the Go client for the cgctserve HTTP API
+// (internal/server). The server's own tests and cmd/cgctserve's smoke
+// mode drive the service through it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cgct/internal/server"
+)
+
+// Client talks to one cgctserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx response, carrying the HTTP status code and the
+// server's error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter string // the Retry-After header, if any (429/503)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request and decodes the JSON response into out (unless
+// nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(raw, &eb)
+		if eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(raw))
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: eb.Error, RetryAfter: resp.Header.Get("Retry-After")}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Submit enqueues a job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Status fetches a job's lifecycle state.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches a done job's result, decoding the result payload into
+// out (e.g. *cgct.Result for sim jobs) unless out is nil. A job that is
+// not done yields an *APIError with StatusCode 409.
+func (c *Client) Result(ctx context.Context, id string, out any) (server.JobStatus, error) {
+	var body struct {
+		server.JobStatus
+		Result json.RawMessage `json:"result"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &body); err != nil {
+		return server.JobStatus{}, err
+	}
+	if out != nil {
+		if err := json.Unmarshal(body.Result, out); err != nil {
+			return body.JobStatus, fmt.Errorf("decoding result payload: %w", err)
+		}
+	}
+	return body.JobStatus, nil
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Metrics fetches the service metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
+	var m server.Metrics
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Healthy reports whether /v1/healthz returns 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return err == nil
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx expires),
+// returning the final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,582 @@
+// Package server exposes the simulator as a long-lived HTTP/JSON service:
+// an admission-controlled job queue feeding a bounded worker pool, backed
+// by the shared content-addressed result cache (internal/runcache), with
+// live job lifecycle (submit / status / result / cancel), service metrics
+// and graceful drain. cmd/cgctserve wires it to a listener; the Go client
+// lives in internal/server/client.
+//
+// Request flow:
+//
+//	POST /v1/jobs ── admission (429 when the queue is full, 503 when
+//	draining) ──▶ bounded queue ──▶ worker pool ──▶ runcache singleflight
+//	(identical in-flight or cached configs cost one simulation) ──▶ result
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cgct"
+	"cgct/internal/experiments"
+	"cgct/internal/runcache"
+	"cgct/internal/stats"
+	"cgct/internal/workload"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job types accepted by Submit.
+const (
+	TypeSim        = "sim"        // one cgct.Run
+	TypeExperiment = "experiment" // one named experiments harness run
+)
+
+// JobRequest is the wire form of a job submission.
+type JobRequest struct {
+	// Type selects the job kind: "sim" (default) or "experiment".
+	Type string `json:"type,omitempty"`
+	// Benchmark + Options describe a sim job.
+	Benchmark string       `json:"benchmark,omitempty"`
+	Options   cgct.Options `json:"options,omitempty"`
+	// Experiment + Params describe an experiment job (an entry of
+	// experiments.Names(), e.g. "fig8").
+	Experiment string             `json:"experiment,omitempty"`
+	Params     experiments.Params `json:"params,omitempty"`
+}
+
+// normalize validates the request in place, applies defaults, and returns
+// the content-addressed cache key covering everything that determines the
+// result: the resolved machine config hash, the workload identity, and the
+// seed(s).
+func (r *JobRequest) normalize() (string, error) {
+	h := sha256.New()
+	switch r.Type {
+	case "", TypeSim:
+		r.Type = TypeSim
+		if r.Benchmark == "" {
+			return "", errors.New("sim job needs a benchmark")
+		}
+		if _, err := workload.Lookup(r.Benchmark); err != nil {
+			return "", err
+		}
+		cfg, o2 := cgct.ResolveConfig(r.Options)
+		if err := cfg.Validate(); err != nil {
+			return "", err
+		}
+		r.Options = o2
+		fmt.Fprintf(h, "sim\x00%s\x00%s\x00%+v", r.Benchmark, cfg.Hash(), o2)
+	case TypeExperiment:
+		if !experiments.Known(r.Experiment) {
+			return "", fmt.Errorf("unknown experiment %q (have %v)", r.Experiment, experiments.Names())
+		}
+		r.Params = r.Params.Canonical()
+		fmt.Fprintf(h, "exp\x00%s\x00%+v", r.Experiment, r.Params)
+	default:
+		return "", fmt.Errorf("unknown job type %q (want %q or %q)", r.Type, TypeSim, TypeExperiment)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// JobStatus is the wire form of a job's lifecycle state.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Type  string   `json:"type"`
+	State JobState `json:"state"`
+	// QueuePosition is the number of queued jobs ahead of this one
+	// (present only while queued; 0 = next to run).
+	QueuePosition *int `json:"queue_position,omitempty"`
+	// CacheHit marks jobs whose result was (or is being) served by the
+	// content-addressed cache instead of a fresh simulation.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// ElapsedMs is the progress clock: time spent queued+running so far,
+	// or total latency once terminal.
+	ElapsedMs   int64      `json:"elapsed_ms"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the manager-internal job record. Mutable fields are guarded by
+// Manager.mu.
+type job struct {
+	id      string
+	seq     uint64
+	request JobRequest
+	key     string
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	state      JobState
+	cacheHit   bool
+	errMsg     string
+	result     any
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	hasStarted bool
+}
+
+// Options configures a Manager. Zero values select sensible defaults.
+type Options struct {
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueCapacity bounds the admission queue; submissions beyond it get
+	// ErrQueueFull (default 64).
+	QueueCapacity int
+	// CacheEntries bounds the result cache's resident entries, evicted
+	// LRU-first (default 1024).
+	CacheEntries int
+	// JobHistory bounds how many terminal job records are retained for
+	// status queries, pruned oldest-first (default 4096).
+	JobHistory int
+	// LatencyWindow is how many recent job latencies feed the percentile
+	// metrics (default 1024).
+	LatencyWindow int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
+	}
+	if o.LatencyWindow <= 0 {
+		o.LatencyWindow = 1024
+	}
+	return o
+}
+
+// Sentinel errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull: the admission queue is at capacity (429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the server is shutting down (503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrNotFound: no such job ID (404).
+	ErrNotFound = errors.New("server: no such job")
+)
+
+// Manager owns the job queue, the worker pool and the result cache.
+type Manager struct {
+	opts  Options
+	cache *runcache.Cache[any]
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	finished  []string // terminal job IDs, oldest first, for history pruning
+	seq       uint64
+	draining  bool
+	busy      int
+	completed uint64 // jobs that reached a terminal state
+	latencies []float64
+	latIdx    int
+
+	// execute computes one job's result; swappable in tests to control
+	// timing without running real simulations.
+	execute func(j *job) (any, error)
+}
+
+// NewManager builds the manager and starts its worker pool.
+func NewManager(o Options) *Manager {
+	o = o.withDefaults()
+	m := &Manager{
+		opts:  o,
+		cache: runcache.New[any](o.CacheEntries, 0), // concurrency is bounded by the pool
+		queue: make(chan *job, o.QueueCapacity),
+		stop:  make(chan struct{}),
+		jobs:  make(map[string]*job),
+	}
+	m.execute = m.executeCached
+	for i := 0; i < o.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// SetExecutorForTest replaces the manager's compute function, bypassing
+// the result cache — a deterministic-timing seam for tests (block until
+// released, fail on demand). ctx is the job's cancellation context. Must
+// be called before any job is submitted.
+func (m *Manager) SetExecutorForTest(fn func(ctx context.Context, req JobRequest) (any, error)) {
+	m.execute = func(j *job) (any, error) { return fn(j.ctx, j.request) }
+}
+
+// newJobID returns a 128-bit random hex job ID.
+func newJobID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading randomness: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+// Admission is strictly bounded: a full queue yields ErrQueueFull, a
+// draining manager ErrDraining — never a blocked caller or an unbounded
+// goroutine.
+func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
+	key, err := req.normalize()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:        newJobID(),
+		request:   req,
+		key:       key,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		return JobStatus{}, ErrDraining
+	}
+	m.seq++
+	j.seq = m.seq
+	j.cacheHit = m.cache.Contains(key)
+	select {
+	case m.queue <- j:
+	default:
+		m.mu.Unlock()
+		cancel()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	st := m.statusLocked(j)
+	m.mu.Unlock()
+	return st, nil
+}
+
+// Status returns the current lifecycle state of a job.
+func (m *Manager) Status(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return m.statusLocked(j), nil
+}
+
+// Result returns a done job's result. ok is false (with the status) when
+// the job exists but is not done yet or ended in failure/cancellation.
+func (m *Manager) Result(id string) (any, JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, ErrNotFound
+	}
+	return j.result, m.statusLocked(j), nil
+}
+
+// Cancel cancels a job: queued jobs terminate immediately, running jobs
+// have their context cancelled (the simulator aborts between event
+// batches). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		m.finishLocked(j, StateCancelled, "cancelled while queued")
+		j.cancel()
+	case StateRunning:
+		j.cancel() // the worker observes ctx and marks the job cancelled
+	}
+	return m.statusLocked(j), nil
+}
+
+// statusLocked renders a job's wire status. Caller holds m.mu.
+func (m *Manager) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Type:        j.request.Type,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	switch {
+	case j.state == StateQueued:
+		pos := 0
+		for _, other := range m.jobs {
+			if other.state == StateQueued && other.seq < j.seq {
+				pos++
+			}
+		}
+		st.QueuePosition = &pos
+		st.ElapsedMs = time.Since(j.submitted).Milliseconds()
+	case j.state == StateRunning:
+		st.ElapsedMs = time.Since(j.submitted).Milliseconds()
+	default:
+		st.ElapsedMs = j.finished.Sub(j.submitted).Milliseconds()
+	}
+	if j.hasStarted {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if j.state.Terminal() && !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// finishLocked moves a job to a terminal state and records bookkeeping.
+// Caller holds m.mu.
+func (m *Manager) finishLocked(j *job, state JobState, errMsg string) {
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	m.completed++
+	if state == StateDone {
+		lat := float64(j.finished.Sub(j.submitted).Milliseconds())
+		if len(m.latencies) < m.opts.LatencyWindow {
+			m.latencies = append(m.latencies, lat)
+		} else {
+			m.latencies[m.latIdx] = lat
+			m.latIdx = (m.latIdx + 1) % m.opts.LatencyWindow
+		}
+	}
+	m.finished = append(m.finished, j.id)
+	for len(m.finished) > m.opts.JobHistory {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}
+
+// worker is one pool goroutine: it drains the queue until the manager
+// stops. The pool size is the only source of compute concurrency.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		select {
+		case <-m.stop:
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through the cache.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.hasStarted = true
+	j.cacheHit = j.cacheHit || m.cache.Contains(j.key)
+	m.busy++
+	m.mu.Unlock()
+
+	res, err := m.execute(j)
+
+	m.mu.Lock()
+	m.busy--
+	switch {
+	case err == nil:
+		j.result = res
+		m.finishLocked(j, StateDone, "")
+	case j.ctx.Err() != nil:
+		m.finishLocked(j, StateCancelled, "cancelled while running")
+	default:
+		m.finishLocked(j, StateFailed, err.Error())
+	}
+	m.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// executeCached is the default execute: singleflight through the shared
+// result cache, so identical configs — concurrent or repeated — cost one
+// simulation.
+func (m *Manager) executeCached(j *job) (any, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := m.cache.Do(j.ctx, j.key, func(ctx context.Context) (res any, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("job panicked: %v", r)
+				}
+			}()
+			return runRequest(ctx, j.request)
+		})
+		// If we were a follower of a leader that got cancelled, the error
+		// is the leader's, not ours: retry (becoming the new leader).
+		if err != nil && j.ctx.Err() == nil && errors.Is(err, context.Canceled) && attempt < 8 {
+			continue
+		}
+		return res, err
+	}
+}
+
+// runRequest dispatches a normalised request to the simulator or the
+// experiments harness. Sim jobs honour ctx cancellation mid-run;
+// experiment jobs are cancellable only while queued.
+func runRequest(ctx context.Context, req JobRequest) (any, error) {
+	switch req.Type {
+	case TypeSim:
+		return cgct.RunContext(ctx, req.Benchmark, req.Options)
+	case TypeExperiment:
+		return experiments.RunByName(req.Experiment, req.Params)
+	default:
+		return nil, fmt.Errorf("unknown job type %q", req.Type) // unreachable post-normalize
+	}
+}
+
+// Metrics is the wire form of GET /v1/metrics.
+type Metrics struct {
+	JobsByState   map[JobState]int `json:"jobs_by_state"`
+	JobsCompleted uint64           `json:"jobs_completed"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	Workers           int     `json:"workers"`
+	BusyWorkers       int     `json:"busy_workers"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+
+	Cache        runcache.Stats `json:"cache"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+
+	// Job latency (submit → done) percentiles over the recent window, ms.
+	LatencyMsP50   float64 `json:"latency_ms_p50"`
+	LatencyMsP95   float64 `json:"latency_ms_p95"`
+	LatencyMsP99   float64 `json:"latency_ms_p99"`
+	LatencySamples int     `json:"latency_samples"`
+
+	Draining bool `json:"draining"`
+}
+
+// Metrics snapshots service health: queue depth, worker utilization,
+// cache behaviour and job-latency percentiles.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byState := map[JobState]int{}
+	for _, j := range m.jobs {
+		byState[j.state]++
+	}
+	cs := m.cache.Stats()
+	out := Metrics{
+		JobsByState:    byState,
+		JobsCompleted:  m.completed,
+		QueueDepth:     len(m.queue),
+		QueueCapacity:  m.opts.QueueCapacity,
+		Workers:        m.opts.Workers,
+		BusyWorkers:    m.busy,
+		Cache:          cs,
+		CacheHitRate:   cs.HitRate(),
+		LatencyMsP50:   stats.Quantile(m.latencies, 0.50),
+		LatencyMsP95:   stats.Quantile(m.latencies, 0.95),
+		LatencyMsP99:   stats.Quantile(m.latencies, 0.99),
+		LatencySamples: len(m.latencies),
+		Draining:       m.draining,
+	}
+	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
+	return out
+}
+
+// Draining reports whether the manager has begun shutting down.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain gracefully shuts the manager down: new submissions are rejected
+// with ErrDraining, workers finish their running jobs, and queued jobs are
+// cancelled. If ctx expires first, running jobs are force-cancelled (the
+// simulator aborts between event batches) and Drain returns ctx's error
+// once the workers exit.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.stop)
+	}
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if j.state == StateRunning {
+				j.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-done // workers return promptly once their contexts die
+	}
+
+	// Workers are gone: everything still queued will never run.
+	m.mu.Lock()
+	for {
+		select {
+		case j := <-m.queue:
+			if j.state == StateQueued {
+				m.finishLocked(j, StateCancelled, "cancelled by shutdown")
+				j.cancel()
+			}
+			continue
+		default:
+		}
+		break
+	}
+	m.mu.Unlock()
+	return drainErr
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Server binds a Manager to HTTP routes:
+//
+//	POST   /v1/jobs           submit a job (202; 429 queue full; 503 draining)
+//	GET    /v1/jobs/{id}      lifecycle status with queue position
+//	GET    /v1/jobs/{id}/result  full result JSON of a done job (409 otherwise)
+//	DELETE /v1/jobs/{id}      cancel (queued: immediate; running: via context)
+//	GET    /v1/metrics        queue/worker/cache/latency metrics
+//	GET    /v1/healthz        200 ok, 503 while draining
+type Server struct {
+	manager *Manager
+	mux     *http.ServeMux
+}
+
+// New builds a Server (and its Manager, whose worker pool starts
+// immediately).
+func New(o Options) *Server {
+	s := &Server{manager: NewManager(o), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Manager returns the underlying job manager (for draining and tests).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the wire form of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // nothing useful to do about a mid-body write error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job request: %w", err))
+		return
+	}
+	st, err := s.manager.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Admission control: bounded queue, never unbounded goroutines.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultBody wraps a done job's payload with its status.
+type resultBody struct {
+	JobStatus
+	Result any `json:"result"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, err := s.manager.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if st.State != StateDone {
+		writeJSON(w, http.StatusConflict, resultBody{JobStatus: st})
+		return
+	}
+	writeJSON(w, http.StatusOK, resultBody{JobStatus: st, Result: res})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Metrics())
+}
+
+// healthBody is the wire form of GET /v1/healthz.
+type healthBody struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.manager.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok"})
+}

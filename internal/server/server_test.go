@@ -1,0 +1,493 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cgct"
+	"cgct/internal/server"
+	"cgct/internal/server/client"
+)
+
+// tinySim is a fast real-simulation request (~milliseconds).
+func tinySim(seed uint64) server.JobRequest {
+	return server.JobRequest{Type: server.TypeSim, Benchmark: "ocean", Options: cgct.Options{OpsPerProc: 2_000, Seed: seed}}
+}
+
+// newTestServer starts an httptest server and returns it with a client.
+func newTestServer(t *testing.T, o server.Options) (*server.Server, *client.Client) {
+	t.Helper()
+	s := server.New(o)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Manager().Drain(ctx)
+	})
+	return s, client.New(hs.URL, hs.Client())
+}
+
+// waitState polls until job id reaches state (or the test times out).
+func waitState(t *testing.T, c *client.Client, id string, want server.JobState) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Status(context.Background(), id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job reached %q (err %q) while waiting for %q", st.State, st.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for state %q", want)
+	return server.JobStatus{}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, server.Options{Workers: 2, QueueCapacity: 8})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.ID == "" || st.State != server.StateQueued || st.Type != server.TypeSim {
+		t.Fatalf("initial status = %+v", st)
+	}
+	final, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("final state = %q (err %q)", final.State, final.Error)
+	}
+	var res cgct.Result
+	if _, err := c.Result(ctx, st.ID, &res); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Benchmark != "ocean" || res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if final.FinishedAt == nil || final.StartedAt == nil {
+		t.Fatal("missing timestamps on terminal status")
+	}
+}
+
+func TestCacheHitNoSecondSimulation(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 2, QueueCapacity: 8})
+	ctx := context.Background()
+	first, err := c.Submit(ctx, tinySim(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.Wait(ctx, first.ID, time.Millisecond); st.State != server.StateDone {
+		t.Fatalf("first run: %+v", st)
+	}
+	missesAfterFirst := s.Manager().Metrics().Cache.Misses
+
+	second, err := c.Submit(ctx, tinySim(7)) // identical config + seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Wait(ctx, second.ID, time.Millisecond)
+	if st.State != server.StateDone {
+		t.Fatalf("second run: %+v", st)
+	}
+	if !st.CacheHit {
+		t.Error("repeat of an identical config not marked cache_hit")
+	}
+	m := s.Manager().Metrics()
+	if m.Cache.Misses != missesAfterFirst {
+		t.Fatalf("second simulation ran: misses %d -> %d", missesAfterFirst, m.Cache.Misses)
+	}
+	if m.Cache.Hits == 0 || m.CacheHitRate <= 0 {
+		t.Fatalf("no cache hit recorded: %+v", m.Cache)
+	}
+
+	// A different seed is a different key: must miss.
+	third, err := c.Submit(ctx, tinySim(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.Wait(ctx, third.ID, time.Millisecond); st.State != server.StateDone {
+		t.Fatalf("third run: %+v", st)
+	}
+	if got := s.Manager().Metrics().Cache.Misses; got != missesAfterFirst+1 {
+		t.Fatalf("distinct config should miss: misses = %d, want %d", got, missesAfterFirst+1)
+	}
+}
+
+// blockingExecute replaces the manager's compute with one that parks until
+// released (or the job's context dies), for deterministic timing tests.
+func blockingExecute(m *server.Manager) (release chan struct{}, started *atomic.Int32) {
+	release = make(chan struct{})
+	started = &atomic.Int32{}
+	m.SetExecutorForTest(func(ctx context.Context, _ server.JobRequest) (any, error) {
+		started.Add(1)
+		select {
+		case <-release:
+			return "stub-result", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	return release, started
+}
+
+func TestQueueOverflow429(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 2})
+	release, _ := blockingExecute(s.Manager())
+	ctx := context.Background()
+
+	// Occupy the single worker, then fill the queue.
+	first, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, first.ID, server.StateRunning)
+	accepted := []string{first.ID}
+	for i := uint64(2); len(accepted) < 3; i++ { // 1 running + 2 queued = capacity
+		st, err := c.Submit(ctx, tinySim(i))
+		if err != nil {
+			t.Fatalf("submit %d within capacity: %v", i, err)
+		}
+		accepted = append(accepted, st.ID)
+	}
+
+	// Now submit 2x queue capacity beyond: every one must get 429.
+	var rejections int
+	for i := uint64(100); i < 104; i++ {
+		_, err := c.Submit(ctx, tinySim(i))
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("overflow submission %d: err = %v, want APIError", i, err)
+		}
+		if apiErr.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overflow status = %d, want 429", apiErr.StatusCode)
+		}
+		if apiErr.RetryAfter == "" {
+			t.Error("429 without Retry-After header")
+		}
+		rejections++
+	}
+	if rejections != 4 {
+		t.Fatalf("rejections = %d", rejections)
+	}
+
+	// Queue-position reporting: the last accepted job has one job ahead.
+	st, err := c.Status(ctx, accepted[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateQueued || st.QueuePosition == nil || *st.QueuePosition != 1 {
+		t.Fatalf("queued status = %+v, want queue_position 1", st)
+	}
+	if m := s.Manager().Metrics(); m.QueueDepth != 2 || m.BusyWorkers != 1 || m.WorkerUtilization != 1 {
+		t.Fatalf("metrics during saturation = %+v", m)
+	}
+
+	// Release: everything accepted must finish.
+	close(release)
+	for _, id := range accepted {
+		if st, _ := c.Wait(ctx, id, time.Millisecond); st.State != server.StateDone {
+			t.Fatalf("accepted job %s ended %q", id, st.State)
+		}
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 4})
+	release, _ := blockingExecute(s.Manager())
+	defer close(release)
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, running.ID, server.StateRunning)
+	queued, err := c.Submit(ctx, tinySim(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the queued job: immediate.
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateCancelled {
+		t.Fatalf("queued cancel -> %q", st.State)
+	}
+
+	// Cancel the running job: its context aborts the (stub) simulation.
+	if _, err := c.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, c, running.ID, server.StateCancelled)
+	if st.Error == "" {
+		t.Error("cancelled running job should carry an explanation")
+	}
+
+	// Cancelling a terminal job is a no-op.
+	if st, err = c.Cancel(ctx, running.ID); err != nil || st.State != server.StateCancelled {
+		t.Fatalf("re-cancel: %+v, %v", st, err)
+	}
+}
+
+// TestCancelMidRealSimulation exercises the context plumbing end to end:
+// a genuinely running cgct simulation aborts on DELETE.
+func TestCancelMidRealSimulation(t *testing.T) {
+	_, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 2})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, server.JobRequest{
+		Type: server.TypeSim, Benchmark: "ocean",
+		Options: cgct.Options{OpsPerProc: 20_000_000}, // minutes of work if not cancelled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, server.StateRunning)
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	final := waitState(t, c, st.ID, server.StateCancelled)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if final.State != server.StateCancelled {
+		t.Fatalf("final = %+v", final)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 4})
+	release, _ := blockingExecute(s.Manager())
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, running.ID, server.StateRunning)
+
+	drainDone := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainDone <- s.Manager().Drain(dctx)
+	}()
+	// Wait until the manager flips to draining.
+	for !s.Manager().Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is rejected with 503 + Retry-After while draining.
+	_, err = c.Submit(ctx, tinySim(2))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %v, want 503", err)
+	}
+	if apiErr.RetryAfter == "" {
+		t.Error("503 without Retry-After")
+	}
+	if c.Healthy(ctx) {
+		t.Error("healthz must fail while draining")
+	}
+
+	// The running job survives the drain and completes.
+	close(release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := c.Status(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("running job ended %q after drain, want done", st.State)
+	}
+	if m := s.Manager().Metrics(); !m.Draining {
+		t.Error("metrics must report draining")
+	}
+}
+
+func TestDrainDeadlineForceCancels(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 2})
+	release, _ := blockingExecute(s.Manager())
+	defer close(release)
+	ctx := context.Background()
+	st, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, server.StateRunning)
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Manager().Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v, want deadline exceeded", err)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateCancelled {
+		t.Fatalf("job ended %q after forced drain, want cancelled", final.State)
+	}
+}
+
+func TestMetricsLatencyPercentiles(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 2, QueueCapacity: 8})
+	ctx := context.Background()
+	for seed := uint64(1); seed <= 4; seed++ {
+		st, err := c.Submit(ctx, tinySim(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final, _ := c.Wait(ctx, st.ID, time.Millisecond); final.State != server.StateDone {
+			t.Fatalf("seed %d: %+v", seed, final)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LatencySamples != 4 {
+		t.Fatalf("latency samples = %d, want 4", m.LatencySamples)
+	}
+	if m.LatencyMsP50 < 0 || m.LatencyMsP50 > m.LatencyMsP95 || m.LatencyMsP95 > m.LatencyMsP99 {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", m.LatencyMsP50, m.LatencyMsP95, m.LatencyMsP99)
+	}
+	if m.JobsByState[server.StateDone] != 4 || m.JobsCompleted != 4 {
+		t.Fatalf("job accounting: %+v", m)
+	}
+	if m.QueueDepth != 0 || m.QueueCapacity != 8 || m.Workers != 2 || m.BusyWorkers != 0 {
+		t.Fatalf("pool accounting: %+v", m)
+	}
+	if m.CacheHitRate < 0 || m.CacheHitRate > 1 {
+		t.Fatalf("hit rate = %v", m.CacheHitRate)
+	}
+	if _, ok := s.Manager().Metrics().JobsByState[server.StateDone]; !ok {
+		t.Fatal("manager metrics disagree with HTTP metrics")
+	}
+}
+
+func TestExperimentJob(t *testing.T) {
+	_, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 4})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, server.JobRequest{Type: server.TypeExperiment, Experiment: "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Type != server.TypeExperiment {
+		t.Fatalf("type = %q", st.Type)
+	}
+	final, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil || final.State != server.StateDone {
+		t.Fatalf("experiment: %+v, %v", final, err)
+	}
+	var rows []json.RawMessage
+	if _, err := c.Result(ctx, st.ID, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("table1 rows = %d, want 7", len(rows))
+	}
+}
+
+func TestValidationAndErrorPaths(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 1, QueueCapacity: 4})
+	ctx := context.Background()
+	badRequests := []server.JobRequest{
+		{Type: server.TypeSim},                                                                        // missing benchmark
+		{Type: server.TypeSim, Benchmark: "no-such-bench"},                                            // unknown workload
+		{Type: server.TypeExperiment, Experiment: "fig99"},                                            // unknown experiment
+		{Type: "training-run", Benchmark: "ocean"},                                                    // unknown type
+		{Type: server.TypeSim, Benchmark: "ocean", Options: cgct.Options{CGCT: true, RegionBytes: 7}}, // invalid config
+	}
+	for i, req := range badRequests {
+		_, err := c.Submit(ctx, req)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %d: err = %v, want 400", i, err)
+		}
+	}
+
+	// Malformed JSON body.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job ID: 404 on status, result and cancel.
+	for _, f := range []func() (server.JobStatus, error){
+		func() (server.JobStatus, error) { return c.Status(ctx, "deadbeef") },
+		func() (server.JobStatus, error) { return c.Result(ctx, "deadbeef", nil) },
+		func() (server.JobStatus, error) { return c.Cancel(ctx, "deadbeef") },
+	} {
+		_, err := f()
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown id: err = %v, want 404", err)
+		}
+	}
+
+	// Result of a non-done job: 409.
+	release, _ := blockingExecute(s.Manager())
+	defer close(release)
+	st, err := c.Submit(ctx, tinySim(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, st.ID, server.StateRunning)
+	_, err = c.Result(ctx, st.ID, nil)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("result of running job: %v, want 409", err)
+	}
+}
+
+// TestConcurrentIdenticalSubmissions: N identical jobs in flight at once
+// cost one simulation (singleflight through the shared cache).
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	s, c := newTestServer(t, server.Options{Workers: 4, QueueCapacity: 16})
+	ctx := context.Background()
+	ids := make([]string, 6)
+	for i := range ids {
+		st, err := c.Submit(ctx, server.JobRequest{
+			Type: server.TypeSim, Benchmark: "ocean",
+			Options: cgct.Options{OpsPerProc: 60_000, Seed: 99},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		if st, _ := c.Wait(ctx, id, time.Millisecond); st.State != server.StateDone {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+	}
+	if m := s.Manager().Metrics(); m.Cache.Misses != 1 {
+		t.Fatalf("%d identical jobs ran %d simulations, want 1", len(ids), m.Cache.Misses)
+	}
+}

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cgct/internal/addr"
@@ -115,6 +116,20 @@ func MustNew(cfg config.Config, w workload.Workload, seed uint64) *System {
 // Run executes the workload to completion and returns the collected
 // statistics. It may be called once per System.
 func (s *System) Run() *stats.Run {
+	r, _ := s.RunContext(context.Background())
+	return r
+}
+
+// cancelCheckEvents is how many events RunContext executes between context
+// checks — frequent enough that cancellation lands within microseconds,
+// rare enough to be free on the hot path.
+const cancelCheckEvents = 1 << 16
+
+// RunContext executes the workload to completion or until ctx is
+// cancelled, whichever comes first. On cancellation it returns the
+// (partial, unusable) statistics alongside ctx's error; callers must treat
+// a non-nil error as "no result". It may be called once per System.
+func (s *System) RunContext(ctx context.Context) (*stats.Run, error) {
 	if s.DebugChecks {
 		s.verGlobal = make(map[addr.LineAddr]uint64)
 		s.verNode = make([]map[addr.LineAddr]uint64, len(s.nodes))
@@ -128,9 +143,22 @@ func (s *System) Run() *stats.Run {
 	if s.dma != nil {
 		s.dma.start()
 	}
-	s.queue.Run()
-	s.collect()
-	return &s.run
+	done := ctx.Done()
+	for {
+		for i := 0; i < cancelCheckEvents; i++ {
+			if !s.queue.Step() {
+				s.collect()
+				return &s.run, nil
+			}
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return &s.run, ctx.Err()
+			default:
+			}
+		}
+	}
 }
 
 // perturb returns t plus the configured random request perturbation.

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 
 	"cgct/internal/coherence"
 	"cgct/internal/event"
@@ -257,6 +258,31 @@ func Summarize(xs []float64) Sample {
 		t = tTable95[df]
 	}
 	return Sample{N: n, Mean: mean, CI95: t * sd / math.Sqrt(float64(n))}
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of xs using linear
+// interpolation between order statistics (the R-7 / numpy default). It
+// copies xs, so the input may be shared. An empty input yields 0. The job
+// server uses this for its p50/p95/p99 latency metrics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
 }
 
 // SpeedupPct returns the percentage reduction in run time going from base

@@ -128,3 +128,29 @@ func TestSpeedupPct(t *testing.T) {
 		t.Error("zero baseline should yield 0")
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty input should yield 0")
+	}
+	if Quantile([]float64{7}, 0.99) != 7 {
+		t.Error("single sample")
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose; Quantile must copy
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	// Percentiles must be monotone in q.
+	big := []float64{9, 2, 5, 7, 1, 8, 3, 6, 4, 10}
+	if p50, p95, p99 := Quantile(big, .5), Quantile(big, .95), Quantile(big, .99); p50 > p95 || p95 > p99 {
+		t.Errorf("not monotone: %v %v %v", p50, p95, p99)
+	}
+}

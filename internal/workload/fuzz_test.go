@@ -19,6 +19,11 @@ func FuzzReadTrace(f *testing.F) {
 	f.Add([]byte("CGCTTRC1"))
 	f.Add([]byte("CGCTTRC1\x00\x00\x00\x00"))
 	f.Add([]byte{})
+	// Hostile headers: truncated mid-op, oversized op count, lying count.
+	f.Add(buf.Bytes()[:len(buf.Bytes())-7])
+	f.Add(traceBytes(1, le64(MaxTraceOpsPerProc+1)))
+	f.Add(traceBytes(2, le64(1<<40)))
+	f.Add(traceBytes(MaxTraceProcs, nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		procs, err := ReadTrace(bytes.NewReader(data))

@@ -55,8 +55,43 @@ func WriteTrace(w io.Writer, procs [][]Op) error {
 	return bw.Flush()
 }
 
-// ReadTrace deserialises a trace written by WriteTrace.
+// Limits on the header fields of a trace file. The counts in the header
+// are untrusted input: a corrupt or hostile file may declare sizes far
+// beyond what its bytes can back, so readers must never allocate
+// proportionally to a declared count before seeing the data.
+const (
+	// MaxTraceProcs bounds the per-processor stream count.
+	MaxTraceProcs = 1024
+	// MaxTraceOpsPerProc bounds one processor's declared op count
+	// (64 Mi ops ≈ 832 MB encoded — far beyond any real trace).
+	MaxTraceOpsPerProc = 64 << 20
+	// opAllocChunk caps the initial slice allocation per processor: the
+	// slice grows as ops actually parse, so a lying count costs at most
+	// one chunk before the truncated input is detected.
+	opAllocChunk = 64 << 10
+)
+
+// opBytes is the encoded size of one Op (kind + gap + addr).
+const opBytes = 13
+
+// ReadTrace deserialises a trace written by WriteTrace. Header fields are
+// validated against sane limits and, where the input's size is known (an
+// io.Seeker or a bytes.Reader-style io.ReaderAt with Len), against the
+// bytes actually available, so hostile counts fail fast instead of
+// triggering huge allocations.
 func ReadTrace(r io.Reader) ([][]Op, error) {
+	remaining := int64(-1) // unknown
+	if lr, ok := r.(interface{ Len() int }); ok {
+		remaining = int64(lr.Len())
+	} else if s, ok := r.(io.Seeker); ok {
+		if pos, err := s.Seek(0, io.SeekCurrent); err == nil {
+			if end, err := s.Seek(0, io.SeekEnd); err == nil {
+				if _, err := s.Seek(pos, io.SeekStart); err == nil {
+					remaining = end - pos
+				}
+			}
+		}
+	}
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -67,42 +102,62 @@ func ReadTrace(r io.Reader) ([][]Op, error) {
 	}
 	var procs uint32
 	if err := binary.Read(br, binary.LittleEndian, &procs); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("workload: reading processor count: %w", err)
 	}
-	if procs == 0 || procs > 1024 {
-		return nil, fmt.Errorf("workload: implausible processor count %d", procs)
+	if procs == 0 || procs > MaxTraceProcs {
+		return nil, fmt.Errorf("workload: implausible processor count %d (limit %d)", procs, MaxTraceProcs)
+	}
+	if remaining >= 0 {
+		// Each stream needs at least its 8-byte count field.
+		if minNeeded := int64(len(magic)) + 4 + int64(procs)*8; remaining < minNeeded {
+			return nil, fmt.Errorf("workload: trace declares %d processors but holds only %d bytes (needs >= %d)",
+				procs, remaining, minNeeded)
+		}
+		remaining -= int64(len(magic)) + 4
 	}
 	out := make([][]Op, procs)
 	for p := range out {
 		var count uint64
 		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("workload: reading op count for p%d: %w", p, err)
 		}
-		if count > 1<<31 {
-			return nil, fmt.Errorf("workload: implausible op count %d", count)
+		if remaining >= 0 {
+			remaining -= 8
 		}
-		ops := make([]Op, count)
-		for i := range ops {
+		if count > MaxTraceOpsPerProc {
+			return nil, fmt.Errorf("workload: p%d declares %d ops (limit %d)", p, count, MaxTraceOpsPerProc)
+		}
+		if remaining >= 0 && int64(count)*opBytes > remaining {
+			return nil, fmt.Errorf("workload: p%d declares %d ops (%d bytes) but only %d bytes remain",
+				p, count, int64(count)*opBytes, remaining)
+		}
+		// Allocate lazily in bounded chunks: growth tracks bytes actually
+		// parsed, never the declared count alone.
+		ops := make([]Op, 0, min(count, opAllocChunk))
+		for i := uint64(0); i < count; i++ {
 			kind, err := br.ReadByte()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("workload: trace truncated at p%d op %d/%d: %w", p, i, count, err)
 			}
 			if OpKind(kind) >= NOpKinds {
 				return nil, fmt.Errorf("workload: invalid op kind %d at p%d[%d]", kind, p, i)
 			}
 			var buf [12]byte
 			if _, err := io.ReadFull(br, buf[:]); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("workload: trace truncated at p%d op %d/%d: %w", p, i, count, err)
 			}
 			a := binary.LittleEndian.Uint64(buf[4:12])
 			if a > addr.PhysAddrMask {
 				return nil, fmt.Errorf("workload: address %x out of range at p%d[%d]", a, p, i)
 			}
-			ops[i] = Op{
+			ops = append(ops, Op{
 				Kind: OpKind(kind),
 				Gap:  binary.LittleEndian.Uint32(buf[0:4]),
 				Addr: addr.Addr(a),
-			}
+			})
+		}
+		if remaining >= 0 {
+			remaining -= int64(count) * opBytes
 		}
 		out[p] = ops
 	}

@@ -2,7 +2,12 @@ package workload
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"strings"
 	"testing"
+	"testing/iotest"
 )
 
 func TestTraceRoundTrip(t *testing.T) {
@@ -59,6 +64,83 @@ func TestTraceTruncated(t *testing.T) {
 	raw := buf.Bytes()
 	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
 		t.Error("truncated trace accepted")
+	}
+}
+
+// validHeader builds a trace header declaring procs streams, followed by
+// body (which may lie about its contents).
+func traceBytes(procs uint32, body []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	_ = binary.Write(&buf, binary.LittleEndian, procs)
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+func le64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// TestTraceHostileHeaders throws corrupt and hostile headers at ReadTrace:
+// every case must fail with a descriptive error, quickly and without
+// allocating anywhere near the declared sizes.
+func TestTraceHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		unsized bool   // hide the reader's size to exercise the streaming path
+		want    string // substring of the expected error
+	}{
+		{"zero procs", traceBytes(0, nil), false, "processor count"},
+		{"too many procs", traceBytes(MaxTraceProcs+1, nil), false, "processor count"},
+		{"procs beyond input", traceBytes(1000, le64(0)), false, "holds only"},
+		{"count over limit", traceBytes(1, le64(MaxTraceOpsPerProc+1)), false, "limit"},
+		// A sized reader exposes the lie before reading a single op: 2^25
+		// declared ops against a 16-byte body.
+		{"count beyond input", traceBytes(1, append(le64(1<<25), make([]byte, 16)...)), false, "remain"},
+		{"count then nothing sized", traceBytes(1, le64(3)), false, "remain"},
+		// Without a known size, the same lies surface as truncation while
+		// streaming — with the position baked into the error.
+		{"count then nothing streamed", traceBytes(1, le64(3)), true, "truncated"},
+		{"mid-op truncation", traceBytes(1, append(le64(1), byte(OpLoad), 0, 0)), true, "truncated"},
+		{"missing count", traceBytes(2, le64(0)), true, "op count"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var r io.Reader = bytes.NewReader(c.data)
+			if c.unsized {
+				r = iotest.OneByteReader(bytes.NewReader(c.data))
+			}
+			_, err := ReadTrace(r)
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %q, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestTraceLyingCountUnsizedReader covers readers whose size is unknown
+// (no Len/Seek): a huge declared count must still fail on truncation
+// without allocating the declared amount up front.
+func TestTraceLyingCountUnsizedReader(t *testing.T) {
+	data := traceBytes(1, le64(1<<25)) // declares 32 Mi ops, provides none
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadTrace(iotest.OneByteReader(bytes.NewReader(data)))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("lying count accepted")
+	}
+	// 32 Mi ops would be >700 MB of Op structs; the chunked allocator must
+	// stay within a few MB.
+	if grown := after.TotalAlloc - before.TotalAlloc; grown > 32<<20 {
+		t.Fatalf("reader allocated %d bytes for a lying count", grown)
 	}
 }
 
