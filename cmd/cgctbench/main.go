@@ -1,0 +1,185 @@
+// Command cgctbench measures simulation-core throughput and allocation
+// behaviour per configuration and writes the results as machine-readable
+// JSON, so performance regressions show up as numbers in CI artifacts
+// rather than anecdotes.
+//
+// Usage:
+//
+//	cgctbench                      # all configs, BENCH_simcore.json
+//	cgctbench -config cgct-ocean   # one config
+//	cgctbench -out results.json -benchtime 5
+//
+// Each config reports ns/op (one op = one full simulation run),
+// trace-ops/s (memory operations simulated per wall-clock second),
+// allocs/op and bytes/op. The JSON schema is the benchResult struct below.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cgct"
+)
+
+// benchConfig is one measured configuration, mirroring the BenchmarkSim*
+// benchmarks in the repository's bench_test.go.
+type benchConfig struct {
+	Name      string
+	Benchmark string
+	Opts      cgct.Options
+}
+
+// opsPerProc matches bench_test.go's benchmarkRun so cgctbench numbers are
+// comparable with `go test -bench BenchmarkSim`.
+const opsPerProc = 60_000
+
+func configs() []benchConfig {
+	return []benchConfig{
+		{"baseline-ocean", "ocean", cgct.Options{}},
+		{"cgct-ocean", "ocean", cgct.Options{CGCT: true}},
+		{"baseline-tpcw", "tpc-w", cgct.Options{}},
+		{"cgct-tpcw", "tpc-w", cgct.Options{CGCT: true}},
+		{"cgct-tpch", "tpc-h", cgct.Options{CGCT: true}},
+		{"cgct-16proc-tpcb", "tpc-b", cgct.Options{Processors: 16, CGCT: true}},
+	}
+}
+
+// benchResult is the JSON record for one configuration.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Benchmark   string  `json:"benchmark"`
+	CGCT        bool    `json:"cgct"`
+	Processors  int     `json:"processors"`
+	Runs        int     `json:"runs"`      // benchmark iterations measured
+	NsPerOp     int64   `json:"ns_per_op"` // one op = one full simulation
+	TraceOpsSec float64 `json:"trace_ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimCycles   uint64  `json:"sim_cycles"` // deterministic per config
+}
+
+type benchFile struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	OpsPerProc int           `json:"ops_per_proc"`
+	Results    []benchResult `json:"results"`
+}
+
+// run executes one simulation of config c with the given seed.
+func run(c benchConfig, seed uint64) (*cgct.Result, error) {
+	opts := c.Opts
+	opts.OpsPerProc = opsPerProc
+	opts.Seed = seed
+	return cgct.Run(c.Benchmark, opts)
+}
+
+// measure times iters simulations of one configuration, counting
+// allocations via MemStats deltas — the simulation is single-threaded and
+// nothing else runs, so the deltas are exact, and a fixed iteration count
+// (unlike testing.Benchmark's auto-scaling) keeps runs comparable.
+func measure(c benchConfig, iters int) (benchResult, error) {
+	procs := c.Opts.Processors
+	if procs == 0 {
+		procs = 4
+	}
+	// Warm-up: first run pays one-time costs (workload construction paths,
+	// heap growth) that steady-state numbers should not include.
+	res, err := run(c, 1)
+	if err != nil {
+		return benchResult{}, err
+	}
+	cycles := res.Cycles
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := run(c, uint64(i+1)); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	var opsPerSec float64
+	if elapsed > 0 {
+		opsPerSec = float64(procs*opsPerProc*iters) / elapsed.Seconds()
+	}
+	return benchResult{
+		Name:        c.Name,
+		Benchmark:   c.Benchmark,
+		CGCT:        c.Opts.CGCT,
+		Processors:  procs,
+		Runs:        iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		TraceOpsSec: opsPerSec,
+		AllocsPerOp: int64((after.Mallocs - before.Mallocs) / uint64(iters)),
+		BytesPerOp:  int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
+		SimCycles:   cycles,
+	}, nil
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_simcore.json", "output JSON path (- for stdout)")
+		config    = flag.String("config", "", "run only this config (default: all; see -list)")
+		list      = flag.Bool("list", false, "list configs and exit")
+		benchtime = flag.Int("benchtime", 3, "iterations per config")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range configs() {
+			fmt.Println(c.Name)
+		}
+		return
+	}
+
+	file := benchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		OpsPerProc: opsPerProc,
+	}
+	for _, c := range configs() {
+		if *config != "" && c.Name != *config {
+			continue
+		}
+		res, err := measure(c, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgctbench %s: %v\n", c.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-18s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op\n",
+			res.Name, res.TraceOpsSec, res.AllocsPerOp, res.NsPerOp)
+		file.Results = append(file.Results, res)
+	}
+	if len(file.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "cgctbench: no config named %q (see -list)\n", *config)
+		os.Exit(2)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"cgct/internal/experiments"
+	"cgct/internal/profiling"
 )
 
 // csvDir, when set, receives one CSV file per experiment next to the
@@ -64,8 +65,15 @@ func main() {
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all nine)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
 		csvOut     = flag.String("csv", "", "also write each experiment's rows to CSV files in this directory")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	csvDir = *csvOut
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -108,6 +116,10 @@ func main() {
 			os.Exit(2)
 		}
 		fn(p)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		csvFailed = true
 	}
 	if csvFailed {
 		os.Exit(1)

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener's mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +47,20 @@ func main() {
 		cache   = flag.Int("cache", 1024, "result cache capacity, entries (LRU)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		smoke   = flag.Bool("smoke", false, "serve on a loopback port, run a client round trip, and exit")
+		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		// A separate listener keeps the profiling endpoints off the public
+		// API surface; the blank net/http/pprof import registered them on
+		// http.DefaultServeMux.
+		go func() {
+			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
 
 	opts := server.Options{Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache}
 	if *smoke {

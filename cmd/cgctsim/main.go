@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"cgct"
+	"cgct/internal/profiling"
 )
 
 func main() {
@@ -31,8 +32,16 @@ func main() {
 		dma     = flag.Uint64("dma", 0, "DMA write interval in cycles (0 = no I/O traffic)")
 		regpf   = flag.Bool("regionpf", false, "prefetch the next region's global state (§6)")
 		trace   = flag.String("trace", "", "replay a trace file saved by cgcttrace -save instead of a benchmark")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, b := range cgct.Benchmarks() {
@@ -55,7 +64,6 @@ func main() {
 		DMAIntervalCycles:    *dma,
 	}
 	var res *cgct.Result
-	var err error
 	if *trace != "" {
 		res, err = cgct.RunTrace(*trace, opts)
 	} else {
@@ -93,5 +101,9 @@ func main() {
 		fmt.Printf("  RCA evictions:       %d (%.1f%% empty, avg %.1f lines)\n",
 			res.RCAEvictions, 100*res.RCAEmptyEvictFrac, res.AvgLinesAtEviction)
 		fmt.Printf("  self-invalidations:  %d\n", res.RCASelfInvals)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

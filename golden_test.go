@@ -1,0 +1,161 @@
+package cgct
+
+// Golden determinism tests: the simulated results for a fixed (benchmark,
+// config, seed) are part of the engine's contract. The fixtures in
+// testdata/golden_runs.json were captured from the original closure-per-
+// event binary-heap engine; any event-queue or hot-path optimisation must
+// reproduce every stats.Run counter bit-for-bit. Regenerate (only when a
+// change is *supposed* to alter simulated results, e.g. a timing-model fix)
+// with:
+//
+//	go test -run TestGoldenRuns -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cgct/internal/sim"
+	"cgct/internal/stats"
+	"cgct/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_runs.json from the current engine")
+
+// goldenCase is one pinned configuration. Ocean and tpc-w cover the two
+// workload families; each runs baseline and CGCT so both the broadcast and
+// the direct/local routing paths are pinned.
+type goldenCase struct {
+	Name      string
+	Benchmark string
+	Opts      Options
+}
+
+func goldenCases() []goldenCase {
+	const ops = 60_000
+	const seed = 7
+	return []goldenCase{
+		{"ocean-baseline", "ocean", Options{OpsPerProc: ops, Seed: seed}},
+		{"ocean-cgct", "ocean", Options{OpsPerProc: ops, Seed: seed, CGCT: true}},
+		{"tpcw-baseline", "tpc-w", Options{OpsPerProc: ops, Seed: seed}},
+		{"tpcw-cgct", "tpc-w", Options{OpsPerProc: ops, Seed: seed, CGCT: true}},
+		{"tpcw-cgct-perturb", "tpc-w", Options{OpsPerProc: ops, Seed: seed, CGCT: true, PerturbCycles: 40}},
+		{"ocean-directory", "ocean", Options{OpsPerProc: ops, Seed: seed, Directory: true}},
+		{"tpcw-scout-dma", "tpc-w", Options{OpsPerProc: ops, Seed: seed, RegionScout: true, DMAIntervalCycles: 3000}},
+	}
+}
+
+// runStats executes one golden case and returns the raw counters.
+func runStats(t *testing.T, c goldenCase) *stats.Run {
+	t.Helper()
+	cfg, o := buildConfig(c.Opts)
+	w, err := workload.Build(c.Benchmark, workload.Params{
+		Processors: o.Processors,
+		OpsPerProc: o.OpsPerProc,
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	system, err := sim.New(cfg, w, o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return system.Run()
+}
+
+// flatten renders every exported counter of a stats.Run into a flat
+// name → value map, so golden mismatches name the exact counter.
+func flatten(r *stats.Run) map[string]uint64 {
+	out := make(map[string]uint64)
+	v := reflect.ValueOf(*r)
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := tp.Field(i).Name
+		switch f.Kind() {
+		case reflect.Uint64:
+			out[name] = f.Uint()
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				out[name+"."+itoa(j)] = f.Index(j).Uint()
+			}
+		case reflect.Struct: // TrafficWindows: fold into total+peak
+			if name == "Windows" {
+				out["Windows.Total"] = r.Windows.Total()
+				out["Windows.Peak"] = r.Windows.Peak()
+			}
+		}
+	}
+	out["Cycles"] = uint64(r.Cycles)
+	return out
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_runs.json") }
+
+func TestGoldenRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden runs are full simulations")
+	}
+	got := make(map[string]map[string]uint64)
+	for _, c := range goldenCases() {
+		got[c.Name] = flatten(runStats(t, c))
+	}
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixtures rewritten: %s", goldenPath())
+		return
+	}
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update-golden to create): %v", err)
+	}
+	var want map[string]map[string]uint64
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, wc := range want {
+		gc, ok := got[name]
+		if !ok {
+			t.Errorf("%s: golden case no longer runs", name)
+			continue
+		}
+		for counter, wv := range wc {
+			if gv := gc[counter]; gv != wv {
+				t.Errorf("%s: %s = %d, want %d", name, counter, gv, wv)
+			}
+		}
+		for counter := range gc {
+			if _, ok := wc[counter]; !ok {
+				t.Errorf("%s: counter %s missing from fixtures (re-run -update-golden?)", name, counter)
+			}
+		}
+	}
+}
+
+// TestGoldenRepeatable: two back-to-back runs of the same configuration in
+// the same process are identical — the engine keeps no hidden global state.
+func TestGoldenRepeatable(t *testing.T) {
+	c := goldenCase{"tpcw-cgct", "tpc-w", Options{OpsPerProc: 30_000, Seed: 9, CGCT: true}}
+	a := flatten(runStats(t, c))
+	b := flatten(runStats(t, c))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs produced different statistics")
+	}
+}

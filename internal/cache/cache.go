@@ -114,7 +114,9 @@ func (c *Cache) Lookup(l addr.LineAddr) coherence.LineState {
 func (c *Cache) Probe(l addr.LineAddr) *Line {
 	s := c.set(l)
 	for i := range s {
-		if s[i].State.Valid() && s[i].Addr == l {
+		// Address first: it rejects most ways with one compare (invalidated
+		// entries keep their stale Addr, so the state check still matters).
+		if s[i].Addr == l && s[i].State.Valid() {
 			return &s[i]
 		}
 	}
@@ -138,6 +140,21 @@ func (c *Cache) Access(l addr.LineAddr) *Line {
 // Touch refreshes the line's LRU position without counting a hit.
 func (c *Cache) Touch(l addr.LineAddr) {
 	if e := c.Probe(l); e != nil {
+		c.lruTick++
+		e.lru = c.lruTick
+	}
+}
+
+// Promote sets a present line's state and refreshes its LRU position in a
+// single tag lookup — the store-hit fast path, equivalent to SetState
+// followed by Touch. It must not be used to invalidate; it is a no-op when
+// the line is absent.
+func (c *Cache) Promote(l addr.LineAddr, st coherence.LineState) {
+	if !st.Valid() {
+		panic(fmt.Sprintf("cache %s: Promote to invalid state", c.name))
+	}
+	if e := c.Probe(l); e != nil {
+		e.State = st
 		c.lruTick++
 		e.lru = c.lruTick
 	}

@@ -23,6 +23,10 @@ type Store interface {
 	Invalidate(l addr.LineAddr) coherence.LineState
 	// Touch refreshes the line's replacement position.
 	Touch(l addr.LineAddr)
+	// Promote sets a present line's state and refreshes its replacement
+	// position in one lookup — equivalent to SetState then Touch for a
+	// valid target state.
+	Promote(l addr.LineAddr, st coherence.LineState)
 	// RegionSnoop reports region presence and modifiable-capability.
 	RegionSnoop(g addr.Geometry, r addr.RegionAddr) (present, modifiable bool)
 	// ForEachValid visits every valid line.
@@ -251,6 +255,24 @@ func (s *Sectored) Touch(l addr.LineAddr) {
 		s.lruTick++
 		sec.lru = s.lruTick
 	}
+}
+
+// Promote implements Store. Like SetState+Touch, the state changes only if
+// the line itself is valid, but a present sector's replacement position is
+// refreshed either way.
+func (s *Sectored) Promote(l addr.LineAddr, st coherence.LineState) {
+	if !st.Valid() {
+		panic(fmt.Sprintf("cache %s: Promote to invalid state", s.name))
+	}
+	sec := s.find(l)
+	if sec == nil {
+		return
+	}
+	if idx := s.lineIdx(l); sec.states[idx].Valid() {
+		sec.states[idx] = st
+	}
+	s.lruTick++
+	sec.lru = s.lruTick
 }
 
 // RegionSnoop implements Store.

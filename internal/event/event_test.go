@@ -149,3 +149,192 @@ func TestInterleavedHeapStress(t *testing.T) {
 		t.Error("events ran out of time order")
 	}
 }
+
+// --- Property test: the wheel+heap queue against a reference scheduler ---
+
+// refQueue is a brutally simple reference scheduler: a flat slice scanned
+// for the (time, sequence) minimum on every step. It has no wheel, no
+// migration and no pooling — anything the real queue executes must match
+// its order exactly.
+type refQueue struct {
+	events []refEvent
+	seq    uint64
+	now    Cycle
+}
+
+type refEvent struct {
+	at  Cycle
+	seq uint64
+	id  int
+}
+
+func (r *refQueue) schedule(at Cycle, id int) {
+	if at < r.now {
+		at = r.now
+	}
+	r.seq++
+	r.events = append(r.events, refEvent{at, r.seq, id})
+}
+
+func (r *refQueue) step() (id int, at Cycle, ok bool) {
+	if len(r.events) == 0 {
+		return 0, 0, false
+	}
+	min := 0
+	for i := 1; i < len(r.events); i++ {
+		e, m := r.events[i], r.events[min]
+		if e.at < m.at || (e.at == m.at && e.seq < m.seq) {
+			min = i
+		}
+	}
+	e := r.events[min]
+	r.events = append(r.events[:min], r.events[min+1:]...)
+	r.now = e.at
+	return e.id, e.at, true
+}
+
+// scenario deterministically derives the dynamic behaviour of a run — how
+// many children each executed event spawns and at what deltas — from a
+// seed, so the real queue and the reference can be driven identically.
+type scenario struct {
+	state  uint64
+	nextID int
+	maxID  int
+}
+
+func (s *scenario) next() uint64 {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return s.state
+}
+
+type spawnSpec struct {
+	delta Cycle
+	id    int
+}
+
+// spawn returns the children the event being executed schedules: deltas
+// straddle the wheel window boundary so in-window inserts, heap inserts and
+// heap→wheel migration all happen, including the delta==0 same-cycle case.
+func (s *scenario) spawn() []spawnSpec {
+	if s.nextID >= s.maxID {
+		return nil
+	}
+	n := int(s.next() % 3)
+	specs := make([]spawnSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var d Cycle
+		if s.next()%4 == 0 {
+			d = Cycle(s.next() % (20 * wheelSize)) // far future: heap, then migration
+		} else {
+			d = Cycle(s.next() % wheelSize) // near future: direct wheel insert
+		}
+		specs = append(specs, spawnSpec{d, s.nextID})
+		s.nextID++
+	}
+	return specs
+}
+
+type logEntry struct {
+	id int
+	at Cycle
+}
+
+type scriptedHandler struct {
+	q   *Queue
+	sc  *scenario
+	log []logEntry
+}
+
+func (h *scriptedHandler) HandleEvent(now Cycle, _ uint8, _ uint32, u64 uint64) {
+	h.log = append(h.log, logEntry{int(u64), now})
+	for _, sp := range h.sc.spawn() {
+		h.q.Schedule(now+sp.delta, h, 0, 0, uint64(sp.id))
+	}
+}
+
+// runScenario drives one seeded random schedule through q and through the
+// reference, returning both execution logs. Every third initial event goes
+// through the legacy closure path (At) to pin the shared sequence counter
+// across both scheduling APIs.
+func runScenario(q *Queue, seed uint64, initial, maxEvents int) (got, want []logEntry) {
+	real := &scenario{state: seed, nextID: 0, maxID: maxEvents}
+	h := &scriptedHandler{q: q, sc: real}
+	for i := 0; i < initial; i++ {
+		at := Cycle(real.next() % (5 * wheelSize))
+		id := real.nextID
+		real.nextID++
+		if i%3 == 0 {
+			id := id
+			q.At(at, func(now Cycle) { h.HandleEvent(now, 0, 0, uint64(id)) })
+		} else {
+			q.Schedule(at, h, 0, 0, uint64(id))
+		}
+	}
+	q.Run()
+
+	ref := &scenario{state: seed, nextID: 0, maxID: maxEvents}
+	var r refQueue
+	for i := 0; i < initial; i++ {
+		at := Cycle(ref.next() % (5 * wheelSize))
+		r.schedule(at, ref.nextID)
+		ref.nextID++
+	}
+	for {
+		id, at, ok := r.step()
+		if !ok {
+			break
+		}
+		want = append(want, logEntry{id, at})
+		for _, sp := range ref.spawn() {
+			r.schedule(at+sp.delta, sp.id)
+		}
+	}
+	return h.log, want
+}
+
+func TestQueueMatchesReference(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42, 0xdecafbad, 1 << 40} {
+		var q Queue
+		got, want := runScenario(&q, seed, 200, 3000)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: executed %d events, reference executed %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d = %+v, reference %+v", seed, i, got[i], want[i])
+			}
+		}
+		if q.Len() != 0 {
+			t.Errorf("seed %d: queue not drained, %d left", seed, q.Len())
+		}
+	}
+}
+
+// TestQueueResetReuse: a Reset queue behaves exactly like a fresh one while
+// reusing its slot pool (no events from the previous run leak through).
+func TestQueueResetReuse(t *testing.T) {
+	var q Queue
+	runScenario(&q, 7, 100, 1000)
+
+	// Leave pending work behind, then Reset mid-flight.
+	q.At(10, func(Cycle) { t.Error("event survived Reset") })
+	q.Schedule(1e9, (*scriptedHandler)(nil), 0, 0, 0)
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 {
+		t.Fatalf("after Reset: Len=%d Now=%d", q.Len(), q.Now())
+	}
+
+	got, want := runScenario(&q, 11, 150, 2000)
+	var fresh Queue
+	got2, _ := runScenario(&fresh, 11, 150, 2000)
+	if len(got) != len(want) || len(got) != len(got2) {
+		t.Fatalf("lengths diverge: reset=%d ref=%d fresh=%d", len(got), len(want), len(got2))
+	}
+	for i := range got {
+		if got[i] != want[i] || got[i] != got2[i] {
+			t.Fatalf("event %d: reset=%+v ref=%+v fresh=%+v", i, got[i], want[i], got2[i])
+		}
+	}
+}

@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -95,16 +96,33 @@ func (r *runner) get(k runKey) *cgct.Result {
 	return res
 }
 
-// prefetchAll warms the cache for a set of keys concurrently.
+// prefetchAll warms the cache for a set of keys, at most p.Parallel
+// simulations at a time. The cache's own worker pool bounds the compute,
+// but a goroutine per key still costs a stack each when a figure asks for
+// hundreds of runs; a fixed-size worker loop keeps the fan-out flat.
 func (r *runner) prefetchAll(keys []runKey) {
-	var wg sync.WaitGroup
-	for _, k := range keys {
-		wg.Add(1)
-		go func(k runKey) {
-			defer wg.Done()
-			r.get(k)
-		}(k)
+	workers := r.p.Parallel
+	if workers > len(keys) {
+		workers = len(keys)
 	}
+	if workers <= 0 {
+		return
+	}
+	next := make(chan runKey)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				r.get(k)
+			}
+		}()
+	}
+	for _, k := range keys {
+		next <- k
+	}
+	close(next)
 	wg.Wait()
 }
 
@@ -138,20 +156,7 @@ func ci95(xs []float64) float64 {
 	if n-1 < len(t) {
 		tv = t[n-1]
 	}
-	return tv * sqrt(sd/float64(n))
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	// Newton iteration; avoids importing math for one call and keeps the
-	// package dependency-free. Converges in a handful of steps.
-	z := x
-	for i := 0; i < 40; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
+	return tv * math.Sqrt(sd/float64(n))
 }
 
 // sortedBenchmarks returns the benchmark list in canonical order.

@@ -234,14 +234,6 @@ func TestParamsCanonical(t *testing.T) {
 	}
 }
 
-func TestSqrt(t *testing.T) {
-	for _, c := range []struct{ in, want float64 }{{4, 2}, {9, 3}, {2, 1.41421356}, {0, 0}, {-1, 0}} {
-		if got := sqrt(c.in); math.Abs(got-c.want) > 1e-6 {
-			t.Errorf("sqrt(%v) = %v", c.in, got)
-		}
-	}
-}
-
 func TestCI95(t *testing.T) {
 	if ci95([]float64{5}) != 0 {
 		t.Error("single sample CI should be 0")

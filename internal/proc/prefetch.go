@@ -43,6 +43,7 @@ type StreamPrefetcher struct {
 	runahead int
 	lineSz   uint64
 	tick     uint64
+	hintBuf  []PrefetchHint // reused across OnAccess calls
 
 	Issued    uint64 // prefetch hints produced
 	Allocated uint64 // new streams allocated
@@ -73,6 +74,9 @@ func (p *StreamPrefetcher) step(l addr.LineAddr, dir int64) addr.LineAddr {
 // their expected next line — including hits to lines the prefetcher itself
 // brought in, which is what keeps a stream alive once it is covering its
 // misses (Power4-style). New streams are allocated only on misses.
+//
+// The returned slice is owned by the prefetcher and valid only until the
+// next OnAccess call; callers must consume it immediately.
 func (p *StreamPrefetcher) OnAccess(l addr.LineAddr, isStore, wasMiss bool) []PrefetchHint {
 	p.tick++
 	// Advance a matching stream.
@@ -90,7 +94,7 @@ func (p *StreamPrefetcher) OnAccess(l addr.LineAddr, isStore, wasMiss bool) []Pr
 		if s.issued > 0 {
 			s.issued-- // the stream consumed one line of runahead
 		}
-		var hints []PrefetchHint
+		hints := p.hintBuf[:0]
 		// Re-extend the runahead window, stopping at the page edge.
 		for s.issued < p.runahead {
 			next := addr.LineAddr(uint64(l) + uint64(s.dir)*uint64(s.issued+1)*p.lineSz)
@@ -100,6 +104,7 @@ func (p *StreamPrefetcher) OnAccess(l addr.LineAddr, isStore, wasMiss bool) []Pr
 			s.issued++
 			hints = append(hints, PrefetchHint{Line: next, Exclusive: s.exclusive})
 		}
+		p.hintBuf = hints
 		p.Issued += uint64(len(hints))
 		return hints
 	}

@@ -1,0 +1,63 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile flags
+// into the CLI binaries, so hot-path work on the simulator can be driven
+// from any entry point:
+//
+//	cgctsim -benchmark ocean -cgct -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges for an allocation
+// profile to land in memPath; either path may be empty to skip that
+// profile. The returned stop function must be called once, on the normal
+// exit path (profiles are deliberately not written when the process dies
+// early).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			if err := writeAllocProfile(memPath); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// writeAllocProfile records cumulative allocations (the "allocs" profile,
+// which includes freed objects — what steady-state optimisation cares
+// about) after a final GC so live-heap numbers are accurate too.
+func writeAllocProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -75,7 +75,7 @@ func (d *directory) set(l addr.LineAddr, e dirEntry) {
 // the request travels to the home controller, the directory resolves it
 // atomically, and the reply (or forwarded data) comes back. No address
 // broadcast exists in this mode.
-func (n *node) issueRequestDirectory(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, onComplete func(event.Cycle)) {
+func (n *node) issueRequestDirectory(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
 	s := n.sys
 	t = s.perturb(t)
 	s.run.Requests[kind]++
@@ -89,32 +89,37 @@ func (n *node) issueRequestDirectory(kind coherence.ReqKind, line addr.LineAddr,
 
 	if kind == coherence.ReqWriteback {
 		// Data travels with the request; the directory clears ownership.
-		s.queue.At(arriveHome, func(now event.Cycle) {
-			d := s.dirs[home]
-			e := d.get(line)
-			if e.owner == n.id {
-				e.owner = -1
-			}
-			e.sharers &^= 1 << uint(n.id)
-			d.set(line, e)
-			s.mcs[home].Write(now, true)
-		})
+		s.queue.Schedule(arriveHome, n, nodeOpDirWriteback, 0, uint64(line))
 		return
 	}
 
 	n.outstanding++
 	if _, dup := n.pending[line]; !dup {
-		n.pending[line] = &mshr{}
+		n.pending[line] = n.newMSHR()
 	}
-	s.queue.At(arriveHome, func(now event.Cycle) {
-		n.resolveAtDirectory(kind, line, home, now, onComplete)
-	})
+	s.queue.Schedule(arriveHome, n, nodeOpResolveDir, packReq(kind, forStore), uint64(line))
+}
+
+// dirWritebackArrived lands a directory-mode write-back at the home
+// controller: the directory drops the writer's record and memory absorbs
+// the data.
+func (n *node) dirWritebackArrived(line addr.LineAddr, now event.Cycle) {
+	s := n.sys
+	home := s.topo.HomeController(addr.Addr(line))
+	d := s.dirs[home]
+	e := d.get(line)
+	if e.owner == n.id {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(n.id)
+	d.set(line, e)
+	s.mcs[home].Write(now, true)
 }
 
 // resolveAtDirectory performs the directory transaction at its home-arrival
 // time: state changes are atomic here; the returned data/ack timing is
 // scheduled afterwards.
-func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, home int, now event.Cycle, onComplete func(event.Cycle)) {
+func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, home int, now event.Cycle, forStore bool) {
 	s := n.sys
 	d := s.dirs[home]
 	e := d.get(line)
@@ -254,8 +259,7 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 	// Install the granted line (state change at the coherence point).
 	if granted.Valid() {
 		if kind == coherence.ReqUpgrade {
-			n.l2.SetState(line, coherence.Modified)
-			n.l2.Touch(line)
+			n.l2.Promote(line, coherence.Modified)
 		} else {
 			n.l2.Allocate(line, granted)
 		}
@@ -267,9 +271,7 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 		s.checkLineInvariants(line)
 		s.checkDirectoryAgrees(line, home)
 	}
-	s.queue.At(arrive, func(at event.Cycle) {
-		n.completeFill(kind, line, at, onComplete)
-	})
+	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 }
 
 // dirEvictNotice is the replacement hint a node sends its home directory

@@ -47,7 +47,7 @@ func newDMAAgent(s *System, targets []addr.Segment, interval uint64) *dmaAgent {
 
 // start schedules the first write.
 func (d *dmaAgent) start() {
-	d.sys.queue.At(d.interval, d.tick)
+	d.sys.queue.Schedule(d.interval, d, 0, 0, 0)
 }
 
 // tick performs one DMA buffer write and reschedules itself while any
@@ -57,7 +57,7 @@ func (d *dmaAgent) tick(now event.Cycle) {
 		return // workload finished; stop injecting
 	}
 	d.writeBuffer(now)
-	d.sys.queue.After(d.interval, d.tick)
+	d.sys.queue.ScheduleAfter(d.interval, d, 0, 0, 0)
 }
 
 // writeBuffer invalidates the buffer's lines system-wide and hands the

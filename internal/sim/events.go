@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"cgct/internal/addr"
+	"cgct/internal/coherence"
+	"cgct/internal/event"
+	"cgct/internal/stats"
+)
+
+// Pooled-event dispatch. Every scheduling site in the simulator routes
+// through event.Queue.Schedule with a node (or dmaAgent) receiver, an op
+// code and a packed payload, so steady-state scheduling allocates nothing
+// — previously each of these sites captured a closure per event.
+//
+// The payload convention: u64 carries the line (or region) address; u32
+// carries the request kind plus the for-store flag (see packReq). Values
+// the old closures captured but that are pure functions of the payload —
+// the region of a line, a line's home controller — are recomputed at
+// dispatch time instead of stored.
+const (
+	// nodeOpStep resumes the processor's run loop (schedule()).
+	nodeOpStep uint8 = iota
+	// nodeOpCompleteFill finishes a request at its data-arrival time.
+	// u32 = packReq, u64 = line.
+	nodeOpCompleteFill
+	// nodeOpBroadcast performs a broadcast at its bus-grant time.
+	// u32 = packReq, u64 = line.
+	nodeOpBroadcast
+	// nodeOpWritebackBcast performs a broadcast write-back at its grant
+	// time. u64 = line.
+	nodeOpWritebackBcast
+	// nodeOpRegionProbe executes a §6 region-state probe. u64 = region.
+	nodeOpRegionProbe
+	// nodeOpResolveDir resolves a directory-mode request at its
+	// home-arrival time. u32 = packReq, u64 = line.
+	nodeOpResolveDir
+	// nodeOpDirWriteback lands a directory-mode write-back at the home
+	// controller. u64 = line.
+	nodeOpDirWriteback
+)
+
+// forStoreBit marks a request issued on behalf of a store-buffer entry
+// (completion must free the slot).
+const forStoreBit = 1 << 16
+
+// packReq packs a request kind and the for-store flag into an event's u32.
+func packReq(kind coherence.ReqKind, forStore bool) uint32 {
+	u := uint32(kind)
+	if forStore {
+		u |= forStoreBit
+	}
+	return u
+}
+
+func unpackReq(u32 uint32) (coherence.ReqKind, bool) {
+	return coherence.ReqKind(u32 &^ forStoreBit), u32&forStoreBit != 0
+}
+
+// HandleEvent implements event.Handler.
+func (n *node) HandleEvent(now event.Cycle, op uint8, u32 uint32, u64 uint64) {
+	switch op {
+	case nodeOpStep:
+		n.scheduled = false
+		n.step(now)
+	case nodeOpCompleteFill:
+		kind, forStore := unpackReq(u32)
+		n.completeFill(kind, addr.LineAddr(u64), now, forStore)
+	case nodeOpBroadcast:
+		kind, forStore := unpackReq(u32)
+		line := addr.LineAddr(u64)
+		n.performBroadcast(kind, line, n.sys.geom.RegionOfLine(line), now, forStore)
+	case nodeOpWritebackBcast:
+		line := addr.LineAddr(u64)
+		// Write-backs are always unnecessary broadcasts (§5.1).
+		n.sys.run.OracleUnnecessary[stats.CatWriteback]++
+		n.sys.writebackToMC(n, line, n.sys.topo.HomeController(addr.Addr(line)), now, false)
+	case nodeOpRegionProbe:
+		n.performRegionProbe(addr.RegionAddr(u64), now)
+	case nodeOpResolveDir:
+		kind, forStore := unpackReq(u32)
+		line := addr.LineAddr(u64)
+		n.resolveAtDirectory(kind, line, n.sys.topo.HomeController(addr.Addr(line)), now, forStore)
+	case nodeOpDirWriteback:
+		n.dirWritebackArrived(addr.LineAddr(u64), now)
+	}
+}
+
+// HandleEvent implements event.Handler: the DMA agent has a single
+// periodic event, so the op and payload are unused.
+func (d *dmaAgent) HandleEvent(now event.Cycle, _ uint8, _ uint32, _ uint64) {
+	d.tick(now)
+}

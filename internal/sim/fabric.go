@@ -14,12 +14,12 @@ import (
 // issueRequest sends a memory request of kind for line into the coherence
 // fabric at time t. Under CGCT the region protocol chooses the route
 // (broadcast, direct-to-memory, or local completion); the baseline always
-// broadcasts. onComplete, when non-nil, runs when the request finishes
-// (store-buffer slots use it).
-func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, onComplete func(event.Cycle)) {
+// broadcasts. forStore marks requests issued for a store-buffer entry;
+// completion frees the slot.
+func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
 	s := n.sys
 	if s.dirs != nil {
-		n.issueRequestDirectory(kind, line, t, onComplete)
+		n.issueRequestDirectory(kind, line, t, forStore)
 		return
 	}
 	t = s.perturb(t)
@@ -54,11 +54,7 @@ func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.
 			s.run.Broadcasts[kind]++
 			grant := s.abus.Arbitrate(t)
 			s.run.Windows.Record(grant)
-			s.queue.At(grant, func(now event.Cycle) {
-				// Write-backs are always unnecessary broadcasts (§5.1).
-				s.run.OracleUnnecessary[stats.CatWriteback]++
-				s.writebackToMC(n, line, s.topo.HomeController(addr.Addr(line)), now, false)
-			})
+			s.queue.Schedule(grant, n, nodeOpWritebackBcast, 0, uint64(line))
 		}
 		return
 	}
@@ -71,31 +67,25 @@ func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.
 		}
 		n.applyLocalRoute(kind, line, region)
 		n.outstanding++
-		s.queue.At(t, func(now event.Cycle) {
-			n.completeFill(kind, line, now, onComplete)
-		})
+		s.queue.Schedule(t, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 	case core.RouteDirect:
 		s.run.Directs[kind]++
 		n.outstanding++
 		arrive := n.applyDirectRoute(kind, line, region, regionMC, t)
-		s.queue.At(arrive, func(now event.Cycle) {
-			n.completeFill(kind, line, now, onComplete)
-		})
+		s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 	default: // broadcast
 		s.run.Broadcasts[kind]++
 		n.outstanding++
 		if _, dup := n.pending[line]; !dup {
-			n.pending[line] = &mshr{}
+			n.pending[line] = n.newMSHR()
 		}
 		grant := s.abus.Arbitrate(t)
 		s.run.Windows.Record(grant)
-		s.queue.At(grant, func(now event.Cycle) {
-			n.performBroadcast(kind, line, region, now, onComplete)
-		})
+		s.queue.Schedule(grant, n, nodeOpBroadcast, packReq(kind, forStore), uint64(line))
 		return
 	}
 	if _, dup := n.pending[line]; !dup {
-		n.pending[line] = &mshr{}
+		n.pending[line] = n.newMSHR()
 	}
 }
 
@@ -143,8 +133,7 @@ func grantedLineState(kind coherence.ReqKind, remoteValid bool) coherence.LineSt
 func (n *node) applyLocalRoute(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr) {
 	switch kind {
 	case coherence.ReqUpgrade:
-		n.l2.SetState(line, coherence.Modified)
-		n.l2.Touch(line)
+		n.l2.Promote(line, coherence.Modified)
 		n.sys.trackWrite(n.id, line)
 	case coherence.ReqDCBZ:
 		n.l2.Allocate(line, coherence.Modified)
@@ -230,21 +219,8 @@ func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, regi
 // other processor (line state and region state), classify the broadcast
 // with the oracle, apply the conventional MOESI actions and the region-
 // protocol transitions, and schedule the data delivery.
-func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, onComplete func(event.Cycle)) {
+func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, forStore bool) {
 	s := n.sys
-	for _, o := range s.nodes {
-		if o.id == n.id {
-			continue
-		}
-		// A snooped processor whose RCA (or cached-region hash) proves the
-		// region absent need not probe its cache tags at all.
-		if (o.rca != nil && o.rca.Probe(region) == nil) ||
-			(o.crh != nil && !o.crh.Present(region)) {
-			s.run.SnoopTagFiltered++
-		} else {
-			s.run.SnoopTagLookups++
-		}
-	}
 
 	// An upgrade whose line was invalidated while the request was queued
 	// must fetch the data after all.
@@ -261,6 +237,23 @@ func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, regi
 		if o.id == n.id {
 			continue
 		}
+		crhP := o.crh != nil && o.crh.Present(region)
+		if crhP {
+			// RegionScout: the imprecise cached-region-hash answer — hash
+			// collisions make this conservative where CGCT's precise
+			// region snoop is exact.
+			crhPresent = true
+		}
+		// A snooped processor whose RCA (or cached-region hash) proves the
+		// region absent need not probe its cache tags at all. The RCA tracks
+		// every region with cached lines and the hash never misses a present
+		// region, so the simulator exploits the same filter the hardware
+		// does and skips the tag scans outright.
+		if (o.rca != nil && o.rca.Probe(region) == nil) || (o.crh != nil && !crhP) {
+			s.run.SnoopTagFiltered++
+			continue
+		}
+		s.run.SnoopTagLookups++
 		if st := o.l2.Lookup(line); st.Valid() {
 			remoteValid = true
 			if st.Dirty() || st == coherence.Exclusive {
@@ -278,12 +271,6 @@ func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, regi
 			if m {
 				regionDirty = true
 			}
-		}
-		if o.crh != nil && o.crh.Present(region) {
-			// RegionScout: the imprecise cached-region-hash answer — hash
-			// collisions make this conservative where CGCT's precise
-			// region snoop is exact.
-			crhPresent = true
 		}
 	}
 
@@ -375,8 +362,7 @@ func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, regi
 	// --- Requester cache update. ---
 	switch kind {
 	case coherence.ReqUpgrade:
-		n.l2.SetState(line, coherence.Modified)
-		n.l2.Touch(line)
+		n.l2.Promote(line, coherence.Modified)
 		s.trackWrite(n.id, line)
 	case coherence.ReqDCBZ:
 		n.l2.Allocate(line, coherence.Modified)
@@ -421,15 +407,13 @@ func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, regi
 			arrive = s.dnet.Deliver(n.id, ready)
 		}
 	}
-	s.queue.At(arrive, func(now event.Cycle) {
-		n.completeFill(kind, line, now, onComplete)
-	})
+	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 }
 
 // completeFill finishes a request: fill the L1s for demand kinds, release
 // the MSHR, wake waiters, and resume the processor if it stalled on this
 // line.
-func (n *node) completeFill(kind coherence.ReqKind, line addr.LineAddr, now event.Cycle, onComplete func(event.Cycle)) {
+func (n *node) completeFill(kind coherence.ReqKind, line addr.LineAddr, now event.Cycle, forStore bool) {
 	n.outstanding--
 	if n.outstanding < 0 {
 		panic("sim: outstanding request underflow")
@@ -452,13 +436,16 @@ func (n *node) completeFill(kind coherence.ReqKind, line addr.LineAddr, now even
 	}
 	if m, ok := n.pending[line]; ok {
 		delete(n.pending, line)
-		for _, w := range m.waiters {
-			w(now)
+		// processStore may re-issue on the same line; that creates a fresh
+		// mshr, so iterating m.waiters while it happens is safe.
+		for _, se := range m.waiters {
+			n.processStore(se, now)
 		}
+		n.freeMSHR(m)
 	}
 	n.resumeIfWaiting(line, now)
-	if onComplete != nil {
-		onComplete(now)
+	if forStore {
+		n.finishStore(now)
 	}
 	n.maybeFinish()
 }
@@ -542,9 +529,7 @@ func (n *node) maybeProbeNextRegion(region addr.RegionAddr, now event.Cycle) {
 	}
 	grant := s.abus.Arbitrate(now)
 	s.run.Windows.Record(grant)
-	s.queue.At(grant, func(at event.Cycle) {
-		n.performRegionProbe(next, at)
-	})
+	s.queue.Schedule(grant, n, nodeOpRegionProbe, 0, uint64(next))
 }
 
 // performRegionProbe executes the probe at its bus-grant time.

@@ -13,11 +13,14 @@ import (
 	"cgct/internal/workload"
 )
 
-// mshr tracks one in-flight fill and the work waiting on it.
+// mshr tracks one in-flight fill and the work waiting on it. mshrs are
+// pooled per node (see newMSHR/freeMSHR) so the miss path allocates nothing
+// in steady state.
 type mshr struct {
-	// waiters run when the fill completes (store-buffer retries; the
-	// stalled processor is resumed separately via demandLine).
-	waiters []func(now event.Cycle)
+	// waiters are store-buffer entries retried when the fill completes
+	// (the stalled processor is resumed separately via demandLine).
+	waiters []storeEntry
+	free    *mshr // next entry in the node's free list
 }
 
 // storeEntry is one store-buffer slot.
@@ -56,6 +59,7 @@ type node struct {
 	finished        bool
 
 	pending           map[addr.LineAddr]*mshr
+	mshrFree          *mshr // recycled mshrs
 	storeBufUsed      int
 	outstanding       int // in-flight fabric requests
 	outstandingDemand int // in-flight demand (load/ifetch) misses
@@ -116,16 +120,30 @@ func newNode(s *System, id int, gen workload.Generator) *node {
 	return n
 }
 
+// newMSHR takes an mshr from the node's pool.
+func (n *node) newMSHR() *mshr {
+	if m := n.mshrFree; m != nil {
+		n.mshrFree = m.free
+		m.free = nil
+		return m
+	}
+	return &mshr{}
+}
+
+// freeMSHR recycles an mshr, keeping its waiter storage.
+func (n *node) freeMSHR(m *mshr) {
+	m.waiters = m.waiters[:0]
+	m.free = n.mshrFree
+	n.mshrFree = m
+}
+
 // schedule queues a run continuation at time t (no-op if one is pending).
 func (n *node) schedule(t event.Cycle) {
 	if n.scheduled || n.finished {
 		return
 	}
 	n.scheduled = true
-	n.sys.queue.At(t, func(now event.Cycle) {
-		n.scheduled = false
-		n.step(now)
-	})
+	n.sys.queue.Schedule(t, n, nodeOpStep, 0, 0)
 }
 
 // step runs the processor until it stalls, runs ahead of the batch horizon,
@@ -234,14 +252,10 @@ func (n *node) execIFetch(op workload.Op, t event.Cycle) bool {
 // demandMiss handles a load or instruction-fetch L2 miss under the
 // stall-on-Nth-miss model: up to DemandOverlap demand misses proceed in
 // the background (the out-of-order window hides their latency); the core
-// stalls when the window is full, or when the line is already in flight
-// (a true dependence on an outstanding fill). It returns false when the
-// processor must stall.
+// stalls when the window is full. The caller has already established the
+// line is not in flight (a true dependence stalls before the L2 is
+// consulted). It returns false when the processor must stall.
 func (n *node) demandMiss(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle) bool {
-	if _, busy := n.pending[line]; busy {
-		n.stallOn(line, t)
-		return false
-	}
 	if n.outstandingDemand >= n.sys.cfg.Proc.DemandOverlap {
 		n.limitStalled = true
 		n.limitStallStart = t
@@ -250,7 +264,7 @@ func (n *node) demandMiss(kind coherence.ReqKind, line addr.LineAddr, t event.Cy
 	}
 	n.outstandingDemand++
 	n.sys.run.DemandMisses++
-	n.issueRequest(kind, line, t, nil)
+	n.issueRequest(kind, line, t, false)
 	if kind == coherence.ReqRead {
 		// The stream engine watches data accesses only (instruction pages
 		// are fetched shared and must not be grabbed exclusively by a
@@ -289,7 +303,7 @@ func (n *node) execStoreLike(op workload.Op, t event.Cycle) bool {
 // in the background; completion frees the slot.
 func (n *node) processStore(se storeEntry, t event.Cycle) {
 	if m, busy := n.pending[se.line]; busy {
-		m.waiters = append(m.waiters, func(now event.Cycle) { n.processStore(se, now) })
+		m.waiters = append(m.waiters, se)
 		return
 	}
 	t += event.Cycle(n.sys.cfg.L2.LatencyCy)
@@ -302,8 +316,7 @@ func (n *node) processStore(se storeEntry, t event.Cycle) {
 			if st == coherence.Exclusive {
 				n.sys.trackWrite(n.id, se.line)
 			}
-			n.l2.SetState(se.line, coherence.Modified)
-			n.l2.Touch(se.line)
+			n.l2.Promote(se.line, coherence.Modified)
 			n.fillL1D(se.line, true)
 			n.finishStore(t)
 		case st == coherence.Shared || st == coherence.Owned:
@@ -317,8 +330,7 @@ func (n *node) processStore(se storeEntry, t event.Cycle) {
 			if st == coherence.Exclusive {
 				n.sys.trackWrite(n.id, se.line)
 			}
-			n.l2.SetState(se.line, coherence.Modified)
-			n.l2.Touch(se.line)
+			n.l2.Promote(se.line, coherence.Modified)
 			n.fillL1D(se.line, true)
 			n.finishStore(t)
 			return
@@ -330,11 +342,10 @@ func (n *node) processStore(se storeEntry, t event.Cycle) {
 }
 
 // requestForStore issues a fabric request on behalf of a store-buffer
-// entry and frees the slot when it completes.
+// entry; completion frees the slot (the forStore flag travels with the
+// request's events).
 func (n *node) requestForStore(kind coherence.ReqKind, se storeEntry, t event.Cycle) {
-	n.issueRequest(kind, se.line, t, func(now event.Cycle) {
-		n.finishStore(now)
-	})
+	n.issueRequest(kind, se.line, t, true)
 }
 
 // finishStore frees a store-buffer slot and unblocks the processor if it
@@ -426,7 +437,7 @@ func (n *node) firePrefetches(line addr.LineAddr, isStore, wasMiss bool, t event
 			kind = coherence.ReqPrefetchExcl
 		}
 		n.outstandingPf++
-		n.issueRequest(kind, h.Line, t, nil)
+		n.issueRequest(kind, h.Line, t, false)
 	}
 }
 
@@ -469,7 +480,7 @@ func (n *node) onL2Evict(l cache.Line, wasEviction bool) {
 		n.crh.Dec(n.sys.geom.RegionOfLine(l.Addr))
 	}
 	if wasEviction && l.State.Dirty() {
-		n.issueRequest(coherence.ReqWriteback, l.Addr, n.now(), nil)
+		n.issueRequest(coherence.ReqWriteback, l.Addr, n.now(), false)
 	} else if wasEviction && n.sys.dirs != nil {
 		// Directory mode: replacement hint for clean evictions, so the
 		// directory never believes we still hold the line.
