@@ -269,6 +269,21 @@ func ResolveConfig(o Options) (config.Config, Options) {
 	return buildConfig(o)
 }
 
+// InvariantError is the structured error a run with DebugChecks returns
+// when a coherence invariant is violated (see internal/coherence).
+type InvariantError = coherence.InvariantError
+
+// Progress is a shared counter of simulated events that a running
+// simulation advances in batches; watchdogs poll it to distinguish a slow
+// run from a stalled one.
+type Progress = sim.Progress
+
+// WithProgress returns a context that makes RunContext advance p as the
+// simulation executes events.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return sim.WithProgress(ctx, p)
+}
+
 // Run simulates one benchmark under the given options.
 func Run(benchmark string, o Options) (*Result, error) {
 	return RunContext(context.Background(), benchmark, o)

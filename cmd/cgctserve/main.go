@@ -46,6 +46,8 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue capacity (overflow gets 429)")
 		cache   = flag.Int("cache", 1024, "result cache capacity, entries (LRU)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		timeout = flag.Duration("job-timeout", 30*time.Minute, "per-job wall-clock deadline (0 = none; requests may set a shorter timeout_ms)")
+		stall   = flag.Duration("watchdog", 2*time.Minute, "fail a running job whose simulation makes no progress for this long (0 = disabled)")
 		smoke   = flag.Bool("smoke", false, "serve on a loopback port, run a client round trip, and exit")
 		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
@@ -62,7 +64,10 @@ func main() {
 		}()
 	}
 
-	opts := server.Options{Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache}
+	opts := server.Options{
+		Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache,
+		DefaultTimeout: *timeout, WatchdogStall: *stall,
+	}
 	if *smoke {
 		if err := runSmoke(opts, *drain); err != nil {
 			fmt.Fprintf(os.Stderr, "smoke: %v\n", err)

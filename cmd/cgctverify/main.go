@@ -103,6 +103,9 @@ func main() {
 			}
 			system := sim.MustNew(cfg, workload.Workload{Name: w.Name, Generators: fresh}, s)
 			system.DebugChecks = true
+			// The verifier wants a crash with a stack trace, not a polite
+			// error return: keep the panic-on-violation behaviour.
+			system.PanicOnViolation = true
 			run := system.Run()
 			runs++
 			requests += run.TotalRequests()

@@ -1,0 +1,47 @@
+package coherence
+
+import "fmt"
+
+// InvariantError describes a violated coherence or region-protocol
+// invariant: which check failed, where (line and/or region address), the
+// cache/region states involved, and the simulated cycle when known.
+//
+// Violations are raised by Violate as a panic carrying this type, so the
+// deep protocol code does not have to thread error returns through every
+// transition. sim.System.RunContext recovers the panic at the event-loop
+// boundary and returns it as an ordinary error to library callers
+// (cgct.Run), while checkers that want a crash with a full stack —
+// cmd/cgctverify — set PanicOnViolation and let it propagate.
+type InvariantError struct {
+	Check  string // short name of the violated invariant (e.g. "line-owners")
+	Cycle  uint64 // simulated cycle, 0 when not known at the check site
+	Region uint64 // region address, 0 when not applicable
+	Line   uint64 // line address, 0 when not applicable
+	States string // rendered states involved, "" when not applicable
+	Detail string // free-form diagnostic
+}
+
+// Error renders the violation with every populated field.
+func (e *InvariantError) Error() string {
+	s := fmt.Sprintf("coherence invariant %q violated: %s", e.Check, e.Detail)
+	if e.Line != 0 {
+		s += fmt.Sprintf(" (line %x)", e.Line)
+	}
+	if e.Region != 0 {
+		s += fmt.Sprintf(" (region %x)", e.Region)
+	}
+	if e.States != "" {
+		s += fmt.Sprintf(" [states %s]", e.States)
+	}
+	if e.Cycle != 0 {
+		s += fmt.Sprintf(" at cycle %d", e.Cycle)
+	}
+	return s
+}
+
+// Violate raises e as a panic carrying *InvariantError. Every invariant
+// check in internal/sim and internal/core reports through this single
+// helper.
+func Violate(e InvariantError) {
+	panic(&e)
+}

@@ -1,0 +1,37 @@
+package coherence
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestViolatePanicsWithStructuredError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Violate did not panic")
+		}
+		ie, ok := r.(*InvariantError)
+		if !ok {
+			t.Fatalf("panic value %T, want *InvariantError", r)
+		}
+		if ie.Check != "line-owners" || ie.Line != 0x1040 || ie.Cycle != 99 {
+			t.Fatalf("fields not preserved: %+v", ie)
+		}
+		msg := ie.Error()
+		for _, want := range []string{"line-owners", "1040", "M+O", "cycle 99", "two owners"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("Error() = %q, missing %q", msg, want)
+			}
+		}
+		var asErr *InvariantError
+		if !errors.As(error(ie), &asErr) {
+			t.Error("InvariantError does not satisfy errors.As")
+		}
+	}()
+	Violate(InvariantError{
+		Check: "line-owners", Cycle: 99, Line: 0x1040,
+		States: "M+O", Detail: "two owners",
+	})
+}

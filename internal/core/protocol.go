@@ -137,7 +137,10 @@ func AfterBroadcast(prev RegionState, k coherence.ReqKind, lineGrantedExclusive 
 // copy is loaded.
 func AfterDirect(prev RegionState, k coherence.ReqKind, lineGrantedExclusive bool) RegionState {
 	if !prev.Valid() {
-		panic("core: direct request with invalid region state")
+		coherence.Violate(coherence.InvariantError{
+			Check: "region-route", States: prev.String(),
+			Detail: "direct request with invalid region state",
+		})
 	}
 	if k == coherence.ReqWriteback {
 		return prev

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cgct/internal/addr"
+	"cgct/internal/coherence"
 )
 
 // Entry is one Region Coherence Array entry: the coarse-grain state of one
@@ -224,7 +225,10 @@ func (r *RCA) SetState(region addr.RegionAddr, st RegionState) {
 func (r *RCA) IncLineCount(region addr.RegionAddr) {
 	e := r.Probe(region)
 	if e == nil {
-		panic(fmt.Sprintf("core: line fill for region %x with no RCA entry (inclusion violated)", uint64(region)))
+		coherence.Violate(coherence.InvariantError{
+			Check: "rca-inclusion", Region: uint64(region),
+			Detail: "line fill for a region with no RCA entry",
+		})
 	}
 	e.LineCount++
 }
@@ -238,7 +242,10 @@ func (r *RCA) DecLineCount(region addr.RegionAddr) {
 	}
 	e.LineCount--
 	if e.LineCount < 0 {
-		panic(fmt.Sprintf("core: negative line count for region %x", uint64(region)))
+		coherence.Violate(coherence.InvariantError{
+			Check: "rca-line-count", Region: uint64(region), States: e.State.String(),
+			Detail: "negative cached-line count",
+		})
 	}
 }
 

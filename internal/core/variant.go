@@ -103,7 +103,10 @@ func (ThreeState) AfterBroadcast(prev RegionState, k coherence.ReqKind, excl boo
 // states is possible without a broadcast.
 func (ThreeState) AfterDirect(prev RegionState, k coherence.ReqKind, excl bool) RegionState {
 	if !prev.Valid() {
-		panic("core: direct request with invalid region state")
+		coherence.Violate(coherence.InvariantError{
+			Check: "region-route", States: prev.String(),
+			Detail: "direct request with invalid region state",
+		})
 	}
 	return prev
 }

@@ -1,0 +1,161 @@
+// Package faultinject provides named, seeded failure points for chaos
+// testing the serving stack. A Plan arms a set of points, each with a mode
+// (return an error, panic, or delay) and a firing probability drawn from
+// the plan's seeded stream, so a chaos run's fault schedule is
+// reproducible. Production code marks its fault boundaries with Fire;
+// with no plan enabled a Fire call is one atomic load — in particular the
+// simulator's event loop stays allocation- and branch-free in steady
+// state.
+//
+// The three wired boundaries are:
+//
+//	PointWorker       the job server's worker loop, before compute
+//	PointCacheCompute the result cache's singleflight leader, before the run
+//	PointSimEventLoop the simulator's event loop, once per event batch
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Names of the failure points wired into the serving stack.
+const (
+	PointWorker       = "server.worker"
+	PointCacheCompute = "runcache.compute"
+	PointSimEventLoop = "sim.eventloop"
+)
+
+// Mode selects what an armed point does when it fires.
+type Mode uint8
+
+const (
+	// ModeError: Fire returns an error wrapping ErrInjected.
+	ModeError Mode = iota
+	// ModePanic: Fire panics with a diagnostic string.
+	ModePanic
+	// ModeDelay: Fire sleeps for Spec.Delay, then returns nil.
+	ModeDelay
+)
+
+// ErrInjected is the sentinel wrapped by every ModeError failure.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Spec configures one named failure point.
+type Spec struct {
+	Mode Mode
+	// Probability in [0, 1] that a hit fires (0 never fires; 1 always).
+	Probability float64
+	// Delay is the sleep for ModeDelay.
+	Delay time.Duration
+	// Limit, when > 0, caps the total number of fires for this point.
+	Limit int64
+}
+
+// pointState is one armed point's spec plus its hit/fire counters.
+type pointState struct {
+	spec  Spec
+	hits  int64
+	fired int64
+}
+
+// Plan is a set of armed failure points sharing one seeded decision
+// stream. Safe for concurrent Fire calls.
+type Plan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	points map[string]*pointState
+}
+
+// NewPlan builds an empty plan whose fire/no-fire decisions are drawn from
+// the given seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{
+		rng:    rand.New(rand.NewSource(int64(seed))),
+		points: make(map[string]*pointState),
+	}
+}
+
+// Arm installs (or replaces) the spec for a named point.
+func (p *Plan) Arm(name string, s Spec) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.points[name] = &pointState{spec: s}
+}
+
+// Fired returns how many times the named point has fired.
+func (p *Plan) Fired(name string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.points[name]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Hits returns how many times the named point has been reached (fired or
+// not).
+func (p *Plan) Hits(name string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.points[name]; ok {
+		return st.hits
+	}
+	return 0
+}
+
+// active is the process-wide enabled plan; nil means every Fire is a no-op.
+var active atomic.Pointer[Plan]
+
+// Enable installs p as the process-wide plan. Intended for tests; callers
+// must Disable when done.
+func Enable(p *Plan) { active.Store(p) }
+
+// Disable removes the active plan; Fire reverts to a single atomic load.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire consults the active plan for the named point. With no plan, or an
+// unarmed point, or a hit the probability draw spares, it returns nil.
+// Otherwise it returns an error (ModeError), sleeps then returns nil
+// (ModeDelay), or panics (ModePanic).
+func Fire(name string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	st, ok := p.points[name]
+	if !ok {
+		p.mu.Unlock()
+		return nil
+	}
+	st.hits++
+	if st.spec.Limit > 0 && st.fired >= st.spec.Limit {
+		p.mu.Unlock()
+		return nil
+	}
+	if st.spec.Probability < 1 && p.rng.Float64() >= st.spec.Probability {
+		p.mu.Unlock()
+		return nil
+	}
+	st.fired++
+	spec := st.spec
+	p.mu.Unlock()
+
+	switch spec.Mode {
+	case ModePanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s", name))
+	case ModeDelay:
+		time.Sleep(spec.Delay)
+		return nil
+	default:
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	}
+}

@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledFireIsNoOp(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("no plan enabled, Enabled() = true")
+	}
+	if err := Fire(PointWorker); err != nil {
+		t.Fatalf("Fire with no plan: %v", err)
+	}
+}
+
+func TestErrorModeFiresWithProbabilityOne(t *testing.T) {
+	p := NewPlan(1)
+	p.Arm("pt", Spec{Mode: ModeError, Probability: 1})
+	Enable(p)
+	defer Disable()
+	for i := 0; i < 10; i++ {
+		err := Fire("pt")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if got := p.Fired("pt"); got != 10 {
+		t.Fatalf("fired = %d, want 10", got)
+	}
+	if got := p.Hits("pt"); got != 10 {
+		t.Fatalf("hits = %d, want 10", got)
+	}
+	if err := Fire("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	p := NewPlan(2)
+	p.Arm("boom", Spec{Mode: ModePanic, Probability: 1})
+	Enable(p)
+	defer Disable()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+	}()
+	_ = Fire("boom")
+}
+
+func TestDelayMode(t *testing.T) {
+	p := NewPlan(3)
+	p.Arm("slow", Spec{Mode: ModeDelay, Probability: 1, Delay: 20 * time.Millisecond})
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay slept %v, want >= 20ms", d)
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	p := NewPlan(4)
+	p.Arm("capped", Spec{Mode: ModeError, Probability: 1, Limit: 3})
+	Enable(p)
+	defer Disable()
+	n := 0
+	for i := 0; i < 10; i++ {
+		if Fire("capped") != nil {
+			n++
+		}
+	}
+	if n != 3 || p.Fired("capped") != 3 {
+		t.Fatalf("fired %d times (counter %d), want 3", n, p.Fired("capped"))
+	}
+}
+
+// TestSeededReproducibility: two plans with the same seed make the same
+// fire/no-fire decisions for a probabilistic point.
+func TestSeededReproducibility(t *testing.T) {
+	decisions := func(seed uint64) []bool {
+		p := NewPlan(seed)
+		p.Arm("pt", Spec{Mode: ModeError, Probability: 0.5})
+		Enable(p)
+		defer Disable()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("pt") != nil
+		}
+		return out
+	}
+	a, b := decisions(42), decisions(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across same-seed plans", i)
+		}
+	}
+}

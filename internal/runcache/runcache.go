@@ -13,8 +13,37 @@ package runcache
 import (
 	"container/list"
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is the error a panicking compute function is converted to: the
+// leader's panic must not take down followers waiting on the same key, so
+// Do recovers it, releases every waiter with this error, and forgets the
+// entry (a later Do for the key becomes a fresh leader).
+type PanicError struct {
+	Value string // the panic value, rendered
+	Stack string // truncated goroutine stack at the panic site
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return "panic: " + e.Value }
+
+// maxPanicStack bounds the stack captured into a PanicError so a deep
+// panic cannot bloat job-status payloads.
+const maxPanicStack = 4 << 10
+
+// NewPanicError renders a recovered panic value (with a bounded stack) —
+// shared by Do and by callers that recover panics at other boundaries and
+// want the same wire shape.
+func NewPanicError(v any) *PanicError {
+	stack := debug.Stack()
+	if len(stack) > maxPanicStack {
+		stack = stack[:maxPanicStack]
+	}
+	return &PanicError{Value: fmt.Sprint(v), Stack: string(stack)}
+}
 
 // entry tracks one key, either in flight (elem == nil, done open) or
 // resident (elem != nil, done closed).
@@ -76,7 +105,9 @@ func New[V any](maxEntries, parallel int) *Cache[V] {
 // runs fn under the cache's concurrency limit with the leader's ctx; a
 // follower whose ctx is cancelled while waiting returns ctx.Err() without
 // disturbing the leader. fn's error is returned to the leader and every
-// current follower, then forgotten.
+// current follower, then forgotten. A panic in fn is contained: it is
+// converted to a *PanicError delivered the same way (never re-panicked,
+// never cached), so one poisoned computation cannot wedge later requests.
 func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Context) (V, error)) (V, error) {
 	var zero V
 	c.mu.Lock()
@@ -133,8 +164,19 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 	if err := ctx.Err(); err != nil {
 		return finish(zero, err)
 	}
-	val, err := fn(ctx)
+	val, err := protect(ctx, fn)
 	return finish(val, err)
+}
+
+// protect runs fn, converting a panic into a *PanicError so the caller
+// always regains control and can release singleflight followers.
+func protect[V any](ctx context.Context, fn func(ctx context.Context) (V, error)) (val V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(r)
+		}
+	}()
+	return fn(ctx)
 }
 
 // Contains reports whether key is resident or in flight — i.e. whether a

@@ -168,3 +168,86 @@ func TestConcurrencyLimit(t *testing.T) {
 		t.Fatalf("observed %d concurrent computations, limit 2", p)
 	}
 }
+
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	c := New[int](0, 0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const followers = 8
+
+	var wg sync.WaitGroup
+	errs := make([]error, followers)
+	// Leader: panics mid-computation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(entered)
+			<-release
+			panic("leader exploded")
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("leader err = %v, want *PanicError", err)
+		}
+	}()
+	<-entered
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				t.Error("follower became a second leader while the first was in flight")
+				return 0, nil
+			})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers join the in-flight entry
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("follower %d err = %v, want *PanicError", i, err)
+		}
+		if pe.Value != "leader exploded" {
+			t.Fatalf("follower %d panic value = %q", i, pe.Value)
+		}
+		if pe.Stack == "" {
+			t.Fatalf("follower %d PanicError has no stack", i)
+		}
+	}
+
+	// The key must not be poisoned: the next Do is a fresh leader and its
+	// result is cached normally.
+	v, err := c.Do(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-panic Do = %d, %v, want fresh leader success", v, err)
+	}
+	if !c.Contains("k") || c.Len() != 1 {
+		t.Fatalf("post-panic result not cached (len=%d)", c.Len())
+	}
+}
+
+func TestPanicErrorStackTruncated(t *testing.T) {
+	var deep func(n int)
+	deep = func(n int) {
+		if n == 0 {
+			panic("deep")
+		}
+		deep(n - 1)
+	}
+	c := New[int](0, 0)
+	_, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+		deep(200)
+		return 0, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(pe.Stack) > maxPanicStack {
+		t.Fatalf("stack length %d exceeds cap %d", len(pe.Stack), maxPanicStack)
+	}
+}

@@ -7,9 +7,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,17 +21,92 @@ import (
 
 // Client talks to one cgctserve instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy // zero = no retries
 }
 
 // New builds a client for the server at base (e.g. "http://127.0.0.1:8080").
-// httpClient may be nil for http.DefaultClient.
+// httpClient may be nil for http.DefaultClient. The client does not retry;
+// use WithRetry to opt in.
 func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// RetryPolicy bounds the client's retry loop: capped exponential backoff
+// with equal jitter, applied to 429/503 responses and transient transport
+// errors. Zero fields take the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, the first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 100ms); the
+	// delay doubles each attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff and any server Retry-After hint
+	// (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// WithRetry returns a copy of the client that retries retryable failures
+// under p. Submissions are content-addressed server-side, so retrying a
+// Submit is idempotent: a duplicate lands on the cache or joins the
+// in-flight computation.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p.withDefaults()
+	return &cp
+}
+
+// retryable reports whether err is worth retrying: throttling/draining
+// responses (429, 503) and transport-level failures (connection refused or
+// reset mid-flight). Context cancellation and every other HTTP status are
+// definitive.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable
+	}
+	return true // transport error
+}
+
+// backoffDelay computes the sleep before retry number attempt (0-based):
+// the server's Retry-After hint when usable, else BaseDelay<<attempt —
+// both capped at MaxDelay — with equal jitter.
+func (p RetryPolicy) backoffDelay(attempt int, err error) time.Duration {
+	d := p.BaseDelay << attempt
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter != "" {
+		if secs, perr := strconv.Atoi(ae.RetryAfter); perr == nil && secs >= 0 {
+			hint := time.Duration(secs) * time.Second
+			d = min(max(hint, p.BaseDelay), p.MaxDelay)
+		}
+	}
+	// Equal jitter: half fixed, half uniform — desynchronises retry storms
+	// without giving up the floor.
+	return d/2 + rand.N(d/2+1)
 }
 
 // APIError is a non-2xx response, carrying the HTTP status code and the
@@ -43,22 +121,51 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
-// do issues one request and decodes the JSON response into out (unless
-// nil). Non-2xx responses become *APIError.
+// do issues a request — retrying retryable failures when the client has a
+// RetryPolicy — and decodes the JSON response into out (unless nil).
+// Non-2xx responses become *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rdr io.Reader
+	var encoded []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rdr = bytes.NewReader(b)
+		encoded = b
+	}
+	attempts := 1
+	if c.retry.MaxAttempts > 0 {
+		attempts = c.retry.MaxAttempts
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.retry.backoffDelay(attempt-1, err)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err = c.doOnce(ctx, method, path, encoded, out)
+		if err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// doOnce issues exactly one request. encoded is the pre-marshalled body
+// (nil for none), so a retry never re-reads a consumed reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, encoded []byte, out any) error {
+	var rdr io.Reader
+	if encoded != nil {
+		rdr = bytes.NewReader(encoded)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if encoded != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -133,9 +240,11 @@ func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
 	return m, err
 }
 
-// Healthy reports whether /v1/healthz returns 200.
+// Healthy reports whether /v1/healthz returns 200. Health checks never
+// retry, even on a retry-enabled client: a draining server's 503 is the
+// answer, not an obstacle.
 func (c *Client) Healthy(ctx context.Context) bool {
-	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	err := c.doOnce(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 	return err == nil
 }
 

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	if _, err := c.Metrics(context.Background()); err != nil {
+		t.Fatalf("Metrics after retries: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 rejected + 1 success)", got)
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want APIError 503", err)
+	}
+	if got := hits.Load(); got != int32(fastRetry.MaxAttempts) {
+		t.Fatalf("server saw %d attempts, want %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+func TestNoRetryWithoutPolicy(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil)
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 without a retry policy", got)
+	}
+}
+
+func TestNonRetryableStatusIsDefinitive(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"bad benchmark"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (4xx is not retryable)", got)
+	}
+}
+
+func TestRetryOnTransportError(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Kill the connection mid-flight: the client sees a transport
+			// error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("response writer is not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil).WithRetry(fastRetry)
+	if _, err := c.Metrics(context.Background()); err != nil {
+		t.Fatalf("Metrics after transport-error retry: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestRetryRespectsContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	// Long backoff + cancelled context: do must return promptly with the
+	// context error instead of sleeping out the policy.
+	c := New(srv.URL, nil).WithRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Minute, MaxDelay: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Metrics(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("do did not abort its backoff sleep on cancellation")
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	p := fastRetry.withDefaults()
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.backoffDelay(attempt, &APIError{StatusCode: 429})
+		if d < p.BaseDelay/2 || d > p.MaxDelay {
+			t.Fatalf("attempt %d: delay %v outside [%v/2, %v]", attempt, d, p.BaseDelay, p.MaxDelay)
+		}
+	}
+	// A Retry-After hint is honoured but capped at MaxDelay.
+	d := p.backoffDelay(0, &APIError{StatusCode: 429, RetryAfter: "3600"})
+	if d > p.MaxDelay {
+		t.Fatalf("Retry-After hint escaped the MaxDelay cap: %v", d)
+	}
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzNormalize feeds arbitrary JSON through the exact path the HTTP
+// handler uses (decode into JobRequest, then normalize): hostile input
+// must produce an error or a valid key — never a panic and never an
+// admission that would let an oversized config reach the simulator.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"benchmark":"ocean"}`,
+		`{"type":"sim","benchmark":"ocean","options":{"OpsPerProc":2000,"Seed":3}}`,
+		`{"type":"experiment","experiment":"fig8"}`,
+		`{"type":"experiment","experiment":"nope"}`,
+		`{"benchmark":"ocean","options":{"Processors":-5}}`,
+		`{"benchmark":"ocean","options":{"Processors":1073741824}}`,
+		`{"benchmark":"ocean","options":{"OpsPerProc":1099511627776}}`,
+		`{"benchmark":"ocean","options":{"RCASets":1099511627776}}`,
+		`{"benchmark":"ocean","options":{"RegionBytes":18446744073709551615}}`,
+		`{"benchmark":"ocean","timeout_ms":-1}`,
+		`{"benchmark":"Z"}`,
+		`{"type":"` + strings.Repeat("x", 1<<10) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req JobRequest
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			return // not even JSON; the handler rejects it earlier
+		}
+		key, err := req.normalize()
+		if err == nil && key == "" {
+			t.Fatalf("normalize accepted %q but produced an empty cache key", raw)
+		}
+	})
+}
+
+// TestNormalizeBounds pins the admission limits: oversized or negative
+// values must be rejected with an error before any simulator state exists.
+func TestNormalizeBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"huge processors", `{"benchmark":"ocean","options":{"Processors":1073741824}}`},
+		{"huge ops", `{"benchmark":"ocean","options":{"OpsPerProc":1099511627776}}`},
+		{"huge rca sets", `{"benchmark":"ocean","options":{"RCASets":1099511627776}}`},
+		{"huge region bytes", `{"benchmark":"ocean","options":{"RegionBytes":1048577}}`},
+		{"huge sector bytes", `{"benchmark":"ocean","options":{"L2SectorBytes":1048577}}`},
+		{"negative timeout", `{"benchmark":"ocean","timeout_ms":-1}`},
+		{"experiment huge ops", `{"type":"experiment","experiment":"fig8","params":{"OpsPerProc":1099511627776}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req JobRequest
+			if err := json.Unmarshal([]byte(tc.raw), &req); err != nil {
+				t.Fatalf("seed JSON invalid: %v", err)
+			}
+			if _, err := req.normalize(); err == nil {
+				t.Fatalf("normalize accepted %s", tc.raw)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"cgct"
 	"cgct/internal/experiments"
+	"cgct/internal/faultinject"
 	"cgct/internal/runcache"
 	"cgct/internal/stats"
 	"cgct/internal/workload"
@@ -63,6 +64,61 @@ type JobRequest struct {
 	// experiments.Names(), e.g. "fig8").
 	Experiment string             `json:"experiment,omitempty"`
 	Params     experiments.Params `json:"params,omitempty"`
+	// TimeoutMs overrides the server's default per-job wall-clock deadline
+	// (0 = server default; the deadline is an execution property, so it is
+	// deliberately NOT part of the result-cache key).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Request size bounds enforced at admission, before any simulation state
+// is allocated: a hostile or fat-fingered config must fail with a 4xx, not
+// exhaust server memory.
+const (
+	maxReqProcessors = 128
+	maxReqOpsPerProc = 20_000_000
+	maxReqRCASets    = 1 << 22
+	maxReqBytesParam = 1 << 20 // RegionBytes, L2SectorBytes
+	maxReqSeeds      = 64
+	maxReqBenchmarks = 64
+)
+
+// boundRequest rejects oversized requests. Callers run it before resolving
+// configs so nothing scales with the hostile values first.
+func (r *JobRequest) boundRequest() error {
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("negative timeout_ms %d", r.TimeoutMs)
+	}
+	switch r.Type {
+	case "", TypeSim:
+		o := r.Options
+		if o.Processors > maxReqProcessors {
+			return fmt.Errorf("processors %d exceeds limit %d", o.Processors, maxReqProcessors)
+		}
+		if o.OpsPerProc > maxReqOpsPerProc {
+			return fmt.Errorf("ops_per_proc %d exceeds limit %d", o.OpsPerProc, maxReqOpsPerProc)
+		}
+		if o.RCASets > maxReqRCASets {
+			return fmt.Errorf("rca_sets %d exceeds limit %d", o.RCASets, maxReqRCASets)
+		}
+		if o.RegionBytes > maxReqBytesParam {
+			return fmt.Errorf("region_bytes %d exceeds limit %d", o.RegionBytes, maxReqBytesParam)
+		}
+		if o.L2SectorBytes > maxReqBytesParam {
+			return fmt.Errorf("l2_sector_bytes %d exceeds limit %d", o.L2SectorBytes, maxReqBytesParam)
+		}
+	case TypeExperiment:
+		p := r.Params
+		if p.OpsPerProc > maxReqOpsPerProc {
+			return fmt.Errorf("ops_per_proc %d exceeds limit %d", p.OpsPerProc, maxReqOpsPerProc)
+		}
+		if len(p.Seeds) > maxReqSeeds {
+			return fmt.Errorf("%d seeds exceeds limit %d", len(p.Seeds), maxReqSeeds)
+		}
+		if len(p.Benchmarks) > maxReqBenchmarks {
+			return fmt.Errorf("%d benchmarks exceeds limit %d", len(p.Benchmarks), maxReqBenchmarks)
+		}
+	}
+	return nil
 }
 
 // normalize validates the request in place, applies defaults, and returns
@@ -70,6 +126,9 @@ type JobRequest struct {
 // result: the resolved machine config hash, the workload identity, and the
 // seed(s).
 func (r *JobRequest) normalize() (string, error) {
+	if err := r.boundRequest(); err != nil {
+		return "", err
+	}
 	h := sha256.New()
 	switch r.Type {
 	case "", TypeSim:
@@ -110,6 +169,9 @@ type JobStatus struct {
 	// content-addressed cache instead of a fresh simulation.
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// FailureKind classifies failed jobs: "panic", "deadline", "watchdog"
+	// or "error" (empty unless State is failed).
+	FailureKind string `json:"failure_kind,omitempty"`
 	// ElapsedMs is the progress clock: time spent queued+running so far,
 	// or total latency once terminal.
 	ElapsedMs   int64      `json:"elapsed_ms"`
@@ -125,17 +187,29 @@ type job struct {
 	seq     uint64
 	request JobRequest
 	key     string
+	timeout time.Duration // wall-clock deadline; 0 = none
 	ctx     context.Context
-	cancel  context.CancelFunc
+	cancel  context.CancelCauseFunc
+	// runCtx is ctx plus the deadline; it is what the executor runs under.
+	// Set by runJob before execution begins.
+	runCtx context.Context
 
-	state      JobState
-	cacheHit   bool
-	errMsg     string
-	result     any
-	submitted  time.Time
-	started    time.Time
-	finished   time.Time
-	hasStarted bool
+	state       JobState
+	cacheHit    bool
+	errMsg      string
+	failureKind string
+	result      any
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	hasStarted  bool
+
+	// Watchdog state, meaningful only while the job is the singleflight
+	// compute leader of a sim run (leading true, progress non-nil).
+	leading    bool
+	progress   *cgct.Progress
+	lastEvents uint64
+	progressAt time.Time
 }
 
 // Options configures a Manager. Zero values select sensible defaults.
@@ -154,6 +228,13 @@ type Options struct {
 	// LatencyWindow is how many recent job latencies feed the percentile
 	// metrics (default 1024).
 	LatencyWindow int
+	// DefaultTimeout is the per-job wall-clock deadline applied when a
+	// request does not set timeout_ms (0 = no deadline).
+	DefaultTimeout time.Duration
+	// WatchdogStall force-fails a running sim job whose simulated-event
+	// counter has not advanced for this long — a livelock/hang backstop
+	// independent of the wall-clock deadline (0 = watchdog disabled).
+	WatchdogStall time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -183,6 +264,9 @@ var (
 	ErrDraining = errors.New("server: draining, not accepting jobs")
 	// ErrNotFound: no such job ID (404).
 	ErrNotFound = errors.New("server: no such job")
+	// ErrWatchdogStall is the cancellation cause the watchdog uses when it
+	// kills a job whose simulation stopped making progress.
+	ErrWatchdogStall = errors.New("server: watchdog: no simulation progress")
 )
 
 // Manager owns the job queue, the worker pool and the result cache.
@@ -202,6 +286,11 @@ type Manager struct {
 	completed uint64 // jobs that reached a terminal state
 	latencies []float64
 	latIdx    int
+
+	// Fault-containment counters (guarded by mu).
+	panics        uint64 // panics recovered (worker boundary + compute leaders)
+	deadlines     uint64 // jobs failed by their wall-clock deadline
+	watchdogKills uint64 // jobs killed by the progress watchdog
 
 	// execute computes one job's result; swappable in tests to control
 	// timing without running real simulations.
@@ -223,15 +312,19 @@ func NewManager(o Options) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if o.WatchdogStall > 0 {
+		m.wg.Add(1)
+		go m.watchdog()
+	}
 	return m
 }
 
 // SetExecutorForTest replaces the manager's compute function, bypassing
 // the result cache — a deterministic-timing seam for tests (block until
-// released, fail on demand). ctx is the job's cancellation context. Must
-// be called before any job is submitted.
+// released, fail on demand). ctx is the job's cancellation context plus
+// its deadline, if any. Must be called before any job is submitted.
 func (m *Manager) SetExecutorForTest(fn func(ctx context.Context, req JobRequest) (any, error)) {
-	m.execute = func(j *job) (any, error) { return fn(j.ctx, j.request) }
+	m.execute = func(j *job) (any, error) { return fn(j.runCtx, j.request) }
 }
 
 // newJobID returns a 128-bit random hex job ID.
@@ -252,11 +345,16 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	timeout := m.opts.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &job{
 		id:        newJobID(),
 		request:   req,
 		key:       key,
+		timeout:   timeout,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
@@ -265,7 +363,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
-		cancel()
+		cancel(nil)
 		return JobStatus{}, ErrDraining
 	}
 	m.seq++
@@ -275,7 +373,7 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	case m.queue <- j:
 	default:
 		m.mu.Unlock()
-		cancel()
+		cancel(nil)
 		return JobStatus{}, ErrQueueFull
 	}
 	m.jobs[j.id] = j
@@ -319,10 +417,13 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	}
 	switch j.state {
 	case StateQueued:
-		m.finishLocked(j, StateCancelled, "cancelled while queued")
-		j.cancel()
+		m.finishLocked(j, StateCancelled, "", "cancelled while queued")
+		j.cancel(nil)
 	case StateRunning:
-		j.cancel() // the worker observes ctx and marks the job cancelled
+		j.cancel(nil) // the worker observes ctx and marks the job cancelled
+	default:
+		// Terminal: cancelling a finished job is a no-op, even when the
+		// cancel races the worker's finish — first outcome wins.
 	}
 	return m.statusLocked(j), nil
 }
@@ -335,6 +436,7 @@ func (m *Manager) statusLocked(j *job) JobStatus {
 		State:       j.state,
 		CacheHit:    j.cacheHit,
 		Error:       j.errMsg,
+		FailureKind: j.failureKind,
 		SubmittedAt: j.submitted,
 	}
 	switch {
@@ -364,9 +466,15 @@ func (m *Manager) statusLocked(j *job) JobStatus {
 }
 
 // finishLocked moves a job to a terminal state and records bookkeeping.
-// Caller holds m.mu.
-func (m *Manager) finishLocked(j *job, state JobState, errMsg string) {
+// Idempotent: once a job is terminal its outcome is frozen, so a finish
+// racing another finish (worker vs. drain) keeps the first. Caller holds
+// m.mu.
+func (m *Manager) finishLocked(j *job, state JobState, failureKind, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
 	j.state = state
+	j.failureKind = failureKind
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	m.completed++
@@ -419,21 +527,81 @@ func (m *Manager) runJob(j *job) {
 	m.busy++
 	m.mu.Unlock()
 
-	res, err := m.execute(j)
+	// The deadline clock starts at execution, not admission: time spent
+	// queued is the server's fault, not the job's.
+	runCtx, cancelRun := j.ctx, context.CancelFunc(func() {})
+	if j.timeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(j.ctx, j.timeout)
+	}
+	m.mu.Lock()
+	j.runCtx = runCtx
+	m.mu.Unlock()
+
+	res, err := m.executeProtected(j)
+	cancelRun()
 
 	m.mu.Lock()
 	m.busy--
+	var pe *runcache.PanicError
 	switch {
 	case err == nil:
 		j.result = res
-		m.finishLocked(j, StateDone, "")
+		m.finishLocked(j, StateDone, "", "")
+	case errors.Is(context.Cause(j.ctx), ErrWatchdogStall):
+		m.finishLocked(j, StateFailed, "watchdog",
+			fmt.Sprintf("killed by watchdog: no simulation progress for %v", m.opts.WatchdogStall))
 	case j.ctx.Err() != nil:
-		m.finishLocked(j, StateCancelled, "cancelled while running")
+		m.finishLocked(j, StateCancelled, "", "cancelled while running")
+	case runCtx.Err() != nil:
+		m.deadlines++
+		m.finishLocked(j, StateFailed, "deadline",
+			fmt.Sprintf("deadline exceeded after %v", j.timeout))
+	case errors.As(err, &pe):
+		if j.leading {
+			// Recovered inside the cache compute fn while this job led it;
+			// the worker-boundary recover never saw it, so count it here.
+			m.panics++
+		}
+		m.finishLocked(j, StateFailed, "panic", pe.Error())
 	default:
-		m.finishLocked(j, StateFailed, err.Error())
+		m.finishLocked(j, StateFailed, "error", err.Error())
 	}
 	m.mu.Unlock()
-	j.cancel() // release the context's resources
+	j.cancel(nil) // release the context's resources
+}
+
+// executeProtected runs the executor with the worker-boundary panic guard:
+// a panic escaping the executor (including the fault-injection point) is
+// converted to a job failure instead of killing the worker goroutine and,
+// with it, the process.
+func (m *Manager) executeProtected(j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.mu.Lock()
+			m.panics++
+			m.mu.Unlock()
+			res, err = nil, runcache.NewPanicError(r)
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.PointWorker); ferr != nil {
+		return nil, ferr
+	}
+	return m.execute(j)
+}
+
+// noteLeading marks j as the singleflight compute leader and, for sim
+// jobs, allocates the progress counter the watchdog polls. Runs on the
+// leader's own worker goroutine (the cache invokes fn synchronously).
+func (m *Manager) noteLeading(j *job) *cgct.Progress {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.leading = true
+	if j.request.Type == TypeSim {
+		j.progress = &cgct.Progress{}
+		j.lastEvents = 0
+		j.progressAt = time.Now()
+	}
+	return j.progress
 }
 
 // executeCached is the default execute: singleflight through the shared
@@ -441,20 +609,60 @@ func (m *Manager) runJob(j *job) {
 // simulation.
 func (m *Manager) executeCached(j *job) (any, error) {
 	for attempt := 0; ; attempt++ {
-		res, err := m.cache.Do(j.ctx, j.key, func(ctx context.Context) (res any, err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					err = fmt.Errorf("job panicked: %v", r)
-				}
-			}()
+		res, err := m.cache.Do(j.runCtx, j.key, func(ctx context.Context) (any, error) {
+			p := m.noteLeading(j)
+			if ferr := faultinject.Fire(faultinject.PointCacheCompute); ferr != nil {
+				return nil, ferr
+			}
+			if p != nil {
+				ctx = cgct.WithProgress(ctx, p)
+			}
 			return runRequest(ctx, j.request)
 		})
-		// If we were a follower of a leader that got cancelled, the error
-		// is the leader's, not ours: retry (becoming the new leader).
-		if err != nil && j.ctx.Err() == nil && errors.Is(err, context.Canceled) && attempt < 8 {
+		// If we were a follower of a leader that got cancelled, timed out
+		// or was killed by the watchdog, the error is the leader's, not
+		// ours: retry (becoming the new leader).
+		if err != nil && j.runCtx.Err() == nil && attempt < 8 &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			continue
 		}
 		return res, err
+	}
+}
+
+// watchdog periodically scans running compute leaders and force-fails any
+// whose simulated-event counter has not moved for opts.WatchdogStall: a
+// livelocked or fault-wedged simulation must not hold a worker forever.
+func (m *Manager) watchdog() {
+	defer m.wg.Done()
+	tick := m.opts.WatchdogStall / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			for _, j := range m.jobs {
+				if j.state != StateRunning || !j.leading || j.progress == nil {
+					continue
+				}
+				if ev := j.progress.Events(); ev != j.lastEvents {
+					j.lastEvents = ev
+					j.progressAt = now
+					continue
+				}
+				if now.Sub(j.progressAt) >= m.opts.WatchdogStall && j.ctx.Err() == nil {
+					m.watchdogKills++
+					j.cancel(ErrWatchdogStall)
+				}
+			}
+			m.mu.Unlock()
+		}
 	}
 }
 
@@ -493,6 +701,12 @@ type Metrics struct {
 	LatencyMsP99   float64 `json:"latency_ms_p99"`
 	LatencySamples int     `json:"latency_samples"`
 
+	// Fault containment: panics converted to job failures, jobs failed by
+	// their wall-clock deadline, and jobs killed by the progress watchdog.
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	DeadlinesExceeded uint64 `json:"deadlines_exceeded"`
+	WatchdogKills     uint64 `json:"watchdog_kills"`
+
 	Draining bool `json:"draining"`
 }
 
@@ -507,19 +721,22 @@ func (m *Manager) Metrics() Metrics {
 	}
 	cs := m.cache.Stats()
 	out := Metrics{
-		JobsByState:    byState,
-		JobsCompleted:  m.completed,
-		QueueDepth:     len(m.queue),
-		QueueCapacity:  m.opts.QueueCapacity,
-		Workers:        m.opts.Workers,
-		BusyWorkers:    m.busy,
-		Cache:          cs,
-		CacheHitRate:   cs.HitRate(),
-		LatencyMsP50:   stats.Quantile(m.latencies, 0.50),
-		LatencyMsP95:   stats.Quantile(m.latencies, 0.95),
-		LatencyMsP99:   stats.Quantile(m.latencies, 0.99),
-		LatencySamples: len(m.latencies),
-		Draining:       m.draining,
+		JobsByState:       byState,
+		JobsCompleted:     m.completed,
+		QueueDepth:        len(m.queue),
+		QueueCapacity:     m.opts.QueueCapacity,
+		Workers:           m.opts.Workers,
+		BusyWorkers:       m.busy,
+		Cache:             cs,
+		CacheHitRate:      cs.HitRate(),
+		LatencyMsP50:      stats.Quantile(m.latencies, 0.50),
+		LatencyMsP95:      stats.Quantile(m.latencies, 0.95),
+		LatencyMsP99:      stats.Quantile(m.latencies, 0.99),
+		LatencySamples:    len(m.latencies),
+		PanicsRecovered:   m.panics,
+		DeadlinesExceeded: m.deadlines,
+		WatchdogKills:     m.watchdogKills,
+		Draining:          m.draining,
 	}
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
 	return out
@@ -556,7 +773,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.mu.Lock()
 		for _, j := range m.jobs {
 			if j.state == StateRunning {
-				j.cancel()
+				j.cancel(nil)
 			}
 		}
 		m.mu.Unlock()
@@ -569,8 +786,8 @@ func (m *Manager) Drain(ctx context.Context) error {
 		select {
 		case j := <-m.queue:
 			if j.state == StateQueued {
-				m.finishLocked(j, StateCancelled, "cancelled by shutdown")
-				j.cancel()
+				m.finishLocked(j, StateCancelled, "", "cancelled by shutdown")
+				j.cancel(nil)
 			}
 			continue
 		default:

@@ -268,8 +268,8 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 		}
 	}
 	if s.DebugChecks {
-		s.checkLineInvariants(line)
-		s.checkDirectoryAgrees(line, home)
+		s.checkLineInvariants(line, now)
+		s.checkDirectoryAgrees(line, home, now)
 	}
 	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 }
@@ -292,7 +292,7 @@ func (s *System) dirEvictNotice(n *node, line addr.LineAddr) {
 
 // checkDirectoryAgrees asserts (tests only) that the directory entry for a
 // line matches the true cache states.
-func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int) {
+func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int, cycle event.Cycle) {
 	e := s.dirs[home].get(line)
 	for _, o := range s.nodes {
 		st := o.l2.Lookup(line)
@@ -300,16 +300,27 @@ func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int) {
 		switch {
 		case st == coherence.Exclusive || st == coherence.Modified:
 			if e.owner != o.id {
-				panic(fmt.Sprintf("sim: directory says owner %d, but p%d holds %x in %v",
-					e.owner, o.id, uint64(line), st))
+				coherence.Violate(coherence.InvariantError{
+					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
+					States: st.String(),
+					Detail: fmt.Sprintf("directory says owner %d, but p%d holds the line", e.owner, o.id),
+				})
 			}
 		case st == coherence.Shared:
 			if !hasBit && e.owner != o.id {
-				panic(fmt.Sprintf("sim: p%d shares %x but directory has no record", o.id, uint64(line)))
+				coherence.Violate(coherence.InvariantError{
+					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
+					States: st.String(),
+					Detail: fmt.Sprintf("p%d shares the line but directory has no record", o.id),
+				})
 			}
 		case !st.Valid():
 			if e.owner == o.id {
-				panic(fmt.Sprintf("sim: directory owner p%d does not cache %x", o.id, uint64(line)))
+				coherence.Violate(coherence.InvariantError{
+					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
+					States: st.String(),
+					Detail: fmt.Sprintf("directory owner p%d does not cache the line", o.id),
+				})
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"cgct/internal/addr"
 	"cgct/internal/coherence"
@@ -63,7 +64,7 @@ func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.
 	case core.RouteLocal:
 		s.run.LocalDones[kind]++
 		if s.DebugChecks {
-			s.checkNonBroadcastSafe(n, kind, line, "local")
+			s.checkNonBroadcastSafe(n, kind, line, t, "local")
 		}
 		n.applyLocalRoute(kind, line, region)
 		n.outstanding++
@@ -178,10 +179,18 @@ func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, regi
 			// remote modifiable copy).
 			valid, writable := s.lineStateAnywhere(n.id, line)
 			if granted == coherence.Shared && writable {
-				panic(fmt.Sprintf("sim: p%d direct shared read of %x with a remote writable copy", n.id, uint64(line)))
+				coherence.Violate(coherence.InvariantError{
+					Check: "direct-route", Cycle: uint64(t), Line: uint64(line), Region: uint64(region),
+					States: granted.String(),
+					Detail: fmt.Sprintf("p%d direct shared read with a remote writable copy", n.id),
+				})
 			}
 			if granted != coherence.Shared && valid {
-				panic(fmt.Sprintf("sim: p%d direct exclusive grant of %x with remote copies", n.id, uint64(line)))
+				coherence.Violate(coherence.InvariantError{
+					Check: "direct-route", Cycle: uint64(t), Line: uint64(line), Region: uint64(region),
+					States: granted.String(),
+					Detail: fmt.Sprintf("p%d direct exclusive grant with remote copies", n.id),
+				})
 			}
 		}
 		n.l2.Allocate(line, granted)
@@ -197,7 +206,10 @@ func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, regi
 	case coherence.ReqDCBF:
 		if s.DebugChecks {
 			if valid, _ := s.lineStateAnywhere(n.id, line); valid {
-				panic(fmt.Sprintf("sim: p%d direct DCBF of %x with remote copies", n.id, uint64(line)))
+				coherence.Violate(coherence.InvariantError{
+					Check: "direct-route", Cycle: uint64(t), Line: uint64(line), Region: uint64(region),
+					Detail: fmt.Sprintf("p%d direct DCBF with remote copies", n.id),
+				})
 			}
 		}
 		if st := n.l2.Lookup(line); st.Valid() {
@@ -385,8 +397,8 @@ func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, regi
 	}
 
 	if s.DebugChecks {
-		s.checkRegionExclusivity(region)
-		s.checkLineInvariants(line)
+		s.checkRegionExclusivity(region, grant)
+		s.checkLineInvariants(line, grant)
 	}
 
 	// --- Timing. ---
@@ -454,25 +466,30 @@ func (n *node) completeFill(kind coherence.ReqKind, line addr.LineAddr, now even
 // with no external request at all was coherent: local completions are only
 // legal when no other processor caches the line. (Direct routes are
 // checked in applyDirectRoute, where the granted state is known.)
-func (s *System) checkNonBroadcastSafe(n *node, kind coherence.ReqKind, line addr.LineAddr, route string) {
+func (s *System) checkNonBroadcastSafe(n *node, kind coherence.ReqKind, line addr.LineAddr, cycle event.Cycle, route string) {
 	if valid, writable := s.lineStateAnywhere(n.id, line); valid {
-		panic(fmt.Sprintf("sim: processor %d %s-routed %v for line %x while a remote copy exists (valid=%v writable=%v)",
-			n.id, route, kind, uint64(line), valid, writable))
+		coherence.Violate(coherence.InvariantError{
+			Check: "route-safety", Cycle: uint64(cycle), Line: uint64(line),
+			Detail: fmt.Sprintf("p%d %s-routed %v while a remote copy exists (valid=%v writable=%v)",
+				n.id, route, kind, valid, writable),
+		})
 	}
 }
 
 // checkLineInvariants asserts (tests only) the MOESI single-writer
 // invariants for one line: at most one E/M/O copy system-wide, and an E or
 // M copy excludes all other copies.
-func (s *System) checkLineInvariants(line addr.LineAddr) {
+func (s *System) checkLineInvariants(line addr.LineAddr, cycle event.Cycle) {
 	owners, copies := 0, 0
 	exclusiveHolder := -1
+	var states []string
 	for _, o := range s.nodes {
 		st := o.l2.Lookup(line)
 		if !st.Valid() {
 			continue
 		}
 		copies++
+		states = append(states, fmt.Sprintf("p%d=%v", o.id, st))
 		switch st {
 		case coherence.Exclusive, coherence.Modified:
 			owners++
@@ -482,17 +499,24 @@ func (s *System) checkLineInvariants(line addr.LineAddr) {
 		}
 	}
 	if owners > 1 {
-		panic(fmt.Sprintf("sim: line %x has %d owners", uint64(line), owners))
+		coherence.Violate(coherence.InvariantError{
+			Check: "line-owners", Cycle: uint64(cycle), Line: uint64(line),
+			States: strings.Join(states, " "),
+			Detail: fmt.Sprintf("%d owners", owners),
+		})
 	}
 	if exclusiveHolder >= 0 && copies > 1 {
-		panic(fmt.Sprintf("sim: line %x exclusive at p%d but %d copies exist",
-			uint64(line), exclusiveHolder, copies))
+		coherence.Violate(coherence.InvariantError{
+			Check: "line-exclusive", Cycle: uint64(cycle), Line: uint64(line),
+			States: strings.Join(states, " "),
+			Detail: fmt.Sprintf("exclusive at p%d but %d copies exist", exclusiveHolder, copies),
+		})
 	}
 }
 
 // checkRegionExclusivity asserts (tests only) that no two processors hold
 // exclusive region states for the same region simultaneously.
-func (s *System) checkRegionExclusivity(region addr.RegionAddr) {
+func (s *System) checkRegionExclusivity(region addr.RegionAddr, cycle event.Cycle) {
 	holder := -1
 	for _, o := range s.nodes {
 		if o.rca == nil {
@@ -503,7 +527,11 @@ func (s *System) checkRegionExclusivity(region addr.RegionAddr) {
 			continue
 		}
 		if holder >= 0 {
-			panic(fmt.Sprintf("sim: processors %d and %d both hold region %x exclusively", holder, o.id, uint64(region)))
+			coherence.Violate(coherence.InvariantError{
+				Check: "region-exclusivity", Cycle: uint64(cycle), Region: uint64(region),
+				States: e.State.String(),
+				Detail: fmt.Sprintf("processors %d and %d both hold the region exclusively", holder, o.id),
+			})
 		}
 		holder = o.id
 	}
@@ -573,6 +601,6 @@ func (n *node) performRegionProbe(region addr.RegionAddr, grant event.Cycle) {
 		s.run.RegionProbes++
 	}
 	if s.DebugChecks {
-		s.checkRegionExclusivity(region)
+		s.checkRegionExclusivity(region, grant)
 	}
 }

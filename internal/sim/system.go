@@ -12,12 +12,14 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"cgct/internal/addr"
 	"cgct/internal/bus"
 	"cgct/internal/coherence"
 	"cgct/internal/config"
 	"cgct/internal/event"
+	"cgct/internal/faultinject"
 	"cgct/internal/memctrl"
 	"cgct/internal/rng"
 	"cgct/internal/stats"
@@ -50,6 +52,11 @@ type System struct {
 	// data-version checker below verifies that no processor ever reads a
 	// stale copy.
 	DebugChecks bool
+
+	// PanicOnViolation makes RunContext re-panic on invariant violations
+	// instead of converting them to an error — the right mode for
+	// verification harnesses (cgctverify) that want a crash with a stack.
+	PanicOnViolation bool
 
 	// Data-version checker (allocated by Run when DebugChecks is set):
 	// verGlobal is the committed write version of every line; verNode is
@@ -129,7 +136,20 @@ const cancelCheckEvents = 1 << 16
 // cancelled, whichever comes first. On cancellation it returns the
 // (partial, unusable) statistics alongside ctx's error; callers must treat
 // a non-nil error as "no result". It may be called once per System.
-func (s *System) RunContext(ctx context.Context) (*stats.Run, error) {
+//
+// Invariant violations (coherence.InvariantError, raised by the
+// DebugChecks machinery) are returned as errors unless PanicOnViolation is
+// set; any other panic propagates unchanged.
+func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie, ok := r.(*coherence.InvariantError)
+			if !ok || s.PanicOnViolation {
+				panic(r)
+			}
+			run, err = &s.run, ie
+		}
+	}()
 	if s.DebugChecks {
 		s.verGlobal = make(map[addr.LineAddr]uint64)
 		s.verNode = make([]map[addr.LineAddr]uint64, len(s.nodes))
@@ -144,12 +164,22 @@ func (s *System) RunContext(ctx context.Context) (*stats.Run, error) {
 		s.dma.start()
 	}
 	done := ctx.Done()
+	progress := progressFrom(ctx)
 	for {
+		if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
+			return &s.run, ferr
+		}
 		for i := 0; i < cancelCheckEvents; i++ {
 			if !s.queue.Step() {
 				s.collect()
+				if progress != nil {
+					progress.events.Add(uint64(i))
+				}
 				return &s.run, nil
 			}
+		}
+		if progress != nil {
+			progress.events.Add(cancelCheckEvents)
 		}
 		if done != nil {
 			select {
@@ -159,6 +189,29 @@ func (s *System) RunContext(ctx context.Context) (*stats.Run, error) {
 			}
 		}
 	}
+}
+
+// Progress is a shared counter of simulated events, advanced by RunContext
+// once per event batch. A watchdog can poll Events to detect a stalled
+// (livelocked or fault-delayed) simulation without touching the hot path.
+type Progress struct {
+	events atomic.Uint64
+}
+
+// Events returns the number of events executed so far (batch granularity).
+func (p *Progress) Events() uint64 { return p.events.Load() }
+
+type progressCtxKey struct{}
+
+// WithProgress returns a context that makes RunContext advance p as it
+// executes events.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressCtxKey{}, p)
+}
+
+func progressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressCtxKey{}).(*Progress)
+	return p
 }
 
 // perturb returns t plus the configured random request perturbation.
@@ -271,7 +324,9 @@ func (s *System) checkRead(nid int, line addr.LineAddr) {
 		return
 	}
 	if have, want := s.verNode[nid][line], s.verGlobal[line]; have != want {
-		panic(fmt.Sprintf("sim: p%d read stale data for line %x (version %d, world at %d)",
-			nid, uint64(line), have, want))
+		coherence.Violate(coherence.InvariantError{
+			Check: "data-version", Line: uint64(line),
+			Detail: fmt.Sprintf("p%d read stale data (version %d, world at %d)", nid, have, want),
+		})
 	}
 }
