@@ -26,6 +26,7 @@ package cgct
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 
@@ -34,6 +35,7 @@ import (
 	"cgct/internal/energy"
 	"cgct/internal/sim"
 	"cgct/internal/stats"
+	"cgct/internal/trace"
 	"cgct/internal/workload"
 )
 
@@ -294,11 +296,7 @@ func Run(benchmark string, o Options) (*Result, error) {
 // workload to completion.
 func RunContext(ctx context.Context, benchmark string, o Options) (*Result, error) {
 	cfg, o2 := buildConfig(o)
-	w, err := workload.Build(benchmark, workload.Params{
-		Processors: o2.Processors,
-		OpsPerProc: o2.OpsPerProc,
-		Seed:       o2.Seed,
-	})
+	w, err := buildWorkload(ctx, benchmark, o2)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +310,38 @@ func RunContext(ctx context.Context, benchmark string, o Options) (*Result, erro
 		return nil, err
 	}
 	return summarize(benchmark, o2, run), nil
+}
+
+// buildWorkload is the default workload path: the benchmark's op streams
+// are served from the process-wide compiled-trace cache (internal/trace),
+// so every simulation of the same (benchmark, processors, ops, seed) —
+// sweep variants, repeated server jobs, benchmark iterations — replays
+// one shared immutable slab, compiled exactly once. Workloads too large
+// to materialise fall back to live per-op generation.
+func buildWorkload(ctx context.Context, benchmark string, o Options) (workload.Workload, error) {
+	// Feed trace compilation into the run's progress counter: a watchdog
+	// polling it must see liveness while a large trace compiles, not a
+	// stall that ends only when simulation events start.
+	if p := sim.ProgressFrom(ctx); p != nil {
+		ctx = trace.WithProgress(ctx, func(ops int) { p.Add(uint64(ops)) })
+	}
+	tr, err := trace.Get(ctx, trace.Key{
+		Benchmark:  benchmark,
+		Processors: o.Processors,
+		OpsPerProc: o.OpsPerProc,
+		Seed:       o.Seed,
+	})
+	if err == nil {
+		return tr.Workload(), nil
+	}
+	if !errors.Is(err, trace.ErrTooLarge) {
+		return workload.Workload{}, err
+	}
+	return workload.Build(benchmark, workload.Params{
+		Processors: o.Processors,
+		OpsPerProc: o.OpsPerProc,
+		Seed:       o.Seed,
+	})
 }
 
 // MustRun is Run that panics on error (examples, tests).
@@ -446,6 +476,47 @@ func RunTrace(path string, o Options) (*Result, error) {
 	system.DebugChecks = o.DebugChecks
 	run := system.Run()
 	return summarize(path, o2, run), nil
+}
+
+// CompileTrace compiles a benchmark's workload into the columnar
+// compiled-trace format and writes it to path (see internal/trace). The
+// resulting file is versioned, integrity-checked, and replayable with
+// RunCompiledTrace; unlike SaveTrace it stores delta-encoded columns
+// rather than fixed-width records, and round-trips the think-time gaps.
+func CompileTrace(benchmark, path string, o Options) error {
+	_, o2 := buildConfig(o)
+	tr, err := trace.Compile(context.Background(), benchmark, workload.Params{
+		Processors: o2.Processors,
+		OpsPerProc: o2.OpsPerProc,
+		Seed:       o2.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	return tr.WriteFile(path)
+}
+
+// RunCompiledTrace replays a compiled-trace file written by CompileTrace
+// through the simulator. The processor count is taken from the file;
+// Options.Processors is ignored.
+func RunCompiledTrace(path string, o Options) (*Result, error) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o.Processors = len(tr.Procs)
+	cfg, o2 := buildConfig(o)
+	system, err := sim.New(cfg, tr.Workload(), o2.Seed)
+	if err != nil {
+		return nil, err
+	}
+	system.DebugChecks = o.DebugChecks
+	run := system.Run()
+	name := tr.Name
+	if name == "" {
+		name = path
+	}
+	return summarize(name, o2, run), nil
 }
 
 // Comparison pairs a baseline run with a CGCT run of the same workload.

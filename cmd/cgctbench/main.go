@@ -8,13 +8,18 @@
 //	cgctbench                      # all configs, BENCH_simcore.json
 //	cgctbench -config cgct-ocean   # one config
 //	cgctbench -out results.json -benchtime 5
+//	cgctbench -baseline BENCH_simcore.json   # print deltas vs a committed run
 //
 // Each config reports ns/op (one op = one full simulation run),
 // trace-ops/s (memory operations simulated per wall-clock second),
-// allocs/op and bytes/op. The JSON schema is the benchResult struct below.
+// allocs/op and bytes/op, plus the trace-generation cost paid once per
+// workload (trace_gen_ns) and how many of the timed iterations were
+// served from the shared compiled-trace cache (trace_cache_hits). The
+// JSON schema is the benchResult struct below.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +28,8 @@ import (
 	"time"
 
 	"cgct"
+	"cgct/internal/trace"
+	"cgct/internal/workload"
 )
 
 // benchConfig is one measured configuration, mirroring the BenchmarkSim*
@@ -60,6 +67,13 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SimCycles   uint64  `json:"sim_cycles"` // deterministic per config
+	// TraceGenNs is the one-time cost of compiling this config's workload
+	// into the shared columnar trace (paid once per distinct workload, not
+	// per run); the simulation timings below exclude it.
+	TraceGenNs int64 `json:"trace_gen_ns"`
+	// TraceCacheHits counts timed iterations whose workload came out of
+	// the shared compiled-trace cache instead of being regenerated.
+	TraceCacheHits uint64 `json:"trace_cache_hits"`
 }
 
 type benchFile struct {
@@ -83,11 +97,26 @@ func run(c benchConfig, seed uint64) (*cgct.Result, error) {
 // allocations via MemStats deltas — the simulation is single-threaded and
 // nothing else runs, so the deltas are exact, and a fixed iteration count
 // (unlike testing.Benchmark's auto-scaling) keeps runs comparable.
+//
+// Trace generation is measured separately: one uncached Compile is timed
+// for TraceGenNs, and every timed iteration's workload is prewarmed into
+// the shared trace cache first, so NsPerOp / TraceOpsSec isolate the
+// simulation core.
 func measure(c benchConfig, iters int) (benchResult, error) {
 	procs := c.Opts.Processors
 	if procs == 0 {
 		procs = 4
 	}
+
+	// Time one direct (cache-bypassing) compilation of the workload.
+	genStart := time.Now()
+	if _, err := trace.Compile(context.Background(), c.Benchmark, workload.Params{
+		Processors: procs, OpsPerProc: opsPerProc, Seed: 1,
+	}); err != nil {
+		return benchResult{}, err
+	}
+	genNs := time.Since(genStart).Nanoseconds()
+
 	// Warm-up: first run pays one-time costs (workload construction paths,
 	// heap growth) that steady-state numbers should not include.
 	res, err := run(c, 1)
@@ -96,6 +125,18 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 	}
 	cycles := res.Cycles
 
+	// Prewarm the trace cache for every seed the timed loop will use, so
+	// the loop measures simulation, not generation.
+	for i := 0; i < iters; i++ {
+		if _, err := trace.Get(context.Background(), trace.Key{
+			Benchmark: c.Benchmark, Processors: procs,
+			OpsPerProc: opsPerProc, Seed: uint64(i + 1),
+		}); err != nil {
+			return benchResult{}, err
+		}
+	}
+
+	hitsBefore := trace.SharedStats().Hits
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -107,23 +148,56 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
+	hits := trace.SharedStats().Hits - hitsBefore
 
 	var opsPerSec float64
 	if elapsed > 0 {
 		opsPerSec = float64(procs*opsPerProc*iters) / elapsed.Seconds()
 	}
 	return benchResult{
-		Name:        c.Name,
-		Benchmark:   c.Benchmark,
-		CGCT:        c.Opts.CGCT,
-		Processors:  procs,
-		Runs:        iters,
-		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
-		TraceOpsSec: opsPerSec,
-		AllocsPerOp: int64((after.Mallocs - before.Mallocs) / uint64(iters)),
-		BytesPerOp:  int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
-		SimCycles:   cycles,
+		Name:           c.Name,
+		Benchmark:      c.Benchmark,
+		CGCT:           c.Opts.CGCT,
+		Processors:     procs,
+		Runs:           iters,
+		NsPerOp:        elapsed.Nanoseconds() / int64(iters),
+		TraceOpsSec:    opsPerSec,
+		AllocsPerOp:    int64((after.Mallocs - before.Mallocs) / uint64(iters)),
+		BytesPerOp:     int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
+		SimCycles:      cycles,
+		TraceGenNs:     genNs,
+		TraceCacheHits: hits,
 	}, nil
+}
+
+// compare prints per-config deltas against a previously written bench
+// file. It is informational only — machine noise makes small swings
+// meaningless — so it never fails the run.
+func compare(baselinePath string, results []benchResult) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgctbench: baseline unavailable: %v\n", err)
+		return
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "cgctbench: baseline unreadable: %v\n", err)
+		return
+	}
+	byName := map[string]benchResult{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("\nvs %s:\n", baselinePath)
+	for _, r := range results {
+		b, ok := byName[r.Name]
+		if !ok || b.TraceOpsSec == 0 {
+			fmt.Printf("  %-18s (no baseline)\n", r.Name)
+			continue
+		}
+		fmt.Printf("  %-18s trace-ops/s %+7.1f%%   allocs/op %+d\n",
+			r.Name, 100*(r.TraceOpsSec/b.TraceOpsSec-1), r.AllocsPerOp-b.AllocsPerOp)
+	}
 }
 
 func main() {
@@ -132,6 +206,7 @@ func main() {
 		config    = flag.String("config", "", "run only this config (default: all; see -list)")
 		list      = flag.Bool("list", false, "list configs and exit")
 		benchtime = flag.Int("benchtime", 3, "iterations per config")
+		baseline  = flag.String("baseline", "", "bench JSON to print deltas against (informational, never fails)")
 	)
 	flag.Parse()
 
@@ -158,13 +233,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cgctbench %s: %v\n", c.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-18s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op\n",
-			res.Name, res.TraceOpsSec, res.AllocsPerOp, res.NsPerOp)
+		fmt.Printf("%-18s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op  (trace gen %d ms, %d cache hits)\n",
+			res.Name, res.TraceOpsSec, res.AllocsPerOp, res.NsPerOp,
+			res.TraceGenNs/1e6, res.TraceCacheHits)
 		file.Results = append(file.Results, res)
 	}
 	if len(file.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "cgctbench: no config named %q (see -list)\n", *config)
 		os.Exit(2)
+	}
+
+	if *baseline != "" {
+		compare(*baseline, file.Results)
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")

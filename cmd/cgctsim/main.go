@@ -32,6 +32,7 @@ func main() {
 		dma     = flag.Uint64("dma", 0, "DMA write interval in cycles (0 = no I/O traffic)")
 		regpf   = flag.Bool("regionpf", false, "prefetch the next region's global state (§6)")
 		trace   = flag.String("trace", "", "replay a trace file saved by cgcttrace -save instead of a benchmark")
+		ctrace  = flag.String("ctrace", "", "replay a compiled-trace file written by cgcttrace -compile instead of a benchmark")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -64,7 +65,9 @@ func main() {
 		DMAIntervalCycles:    *dma,
 	}
 	var res *cgct.Result
-	if *trace != "" {
+	if *ctrace != "" {
+		res, err = cgct.RunCompiledTrace(*ctrace, opts)
+	} else if *trace != "" {
 		res, err = cgct.RunTrace(*trace, opts)
 	} else {
 		res, err = cgct.Run(*bench, opts)

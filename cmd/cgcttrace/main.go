@@ -5,6 +5,8 @@
 //
 //	cgcttrace -benchmark ocean -proc 0 -n 50            # dump first 50 ops
 //	cgcttrace -benchmark tpc-h -summary                 # per-kind histogram
+//	cgcttrace -benchmark tpc-b -compile tpcb.cgct       # compiled columnar trace
+//	cgcttrace -info tpcb.cgct                           # inspect a compiled trace
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 
 	"cgct"
 	"cgct/internal/addr"
+	"cgct/internal/trace"
 	"cgct/internal/workload"
 )
 
@@ -23,24 +26,56 @@ func main() {
 		proc    = flag.Int("proc", 0, "processor whose trace to inspect")
 		n       = flag.Int("n", 30, "operations to dump")
 		ops     = flag.Int("ops", 100_000, "trace length per processor")
+		procs   = flag.Int("procs", 4, "processor count")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		summary = flag.Bool("summary", false, "print per-kind and per-region summary instead of a dump")
-		save    = flag.String("save", "", "write the full trace to this file (binary format) and exit")
+		save    = flag.String("save", "", "write the full trace to this file (legacy fixed-width format) and exit")
+		compile = flag.String("compile", "", "compile the workload to this file (columnar compiled-trace format) and exit")
+		info    = flag.String("info", "", "print a compiled-trace file's summary and exit")
 	)
 	flag.Parse()
 
-	if *save != "" {
-		err := cgct.SaveTrace(*bench, *save, cgct.Options{OpsPerProc: *ops, Seed: *seed})
+	if *info != "" {
+		tr, err := trace.ReadFile(*info)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("saved %s trace (%d ops x 4 processors) to %s\n", *bench, *ops, *save)
+		fmt.Println(tr)
+		return
+	}
+
+	if *compile != "" {
+		err := cgct.CompileTrace(*bench, *compile, cgct.Options{
+			Processors: *procs, OpsPerProc: *ops, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := trace.ReadFile(*compile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("compiled %s\n", tr)
+		return
+	}
+
+	if *save != "" {
+		err := cgct.SaveTrace(*bench, *save, cgct.Options{
+			Processors: *procs, OpsPerProc: *ops, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %s trace (%d ops x %d processors) to %s\n", *bench, *ops, *procs, *save)
 		return
 	}
 
 	w, err := workload.Build(*bench, workload.Params{
-		Processors: 4,
+		Processors: *procs,
 		OpsPerProc: *ops,
 		Seed:       *seed,
 	})

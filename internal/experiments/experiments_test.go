@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cgct"
+	"cgct/internal/trace"
 )
 
 // quickParams keeps experiment tests fast: two benchmarks, tiny traces.
@@ -325,5 +326,31 @@ func TestSectoring(t *testing.T) {
 	}
 	if r.CGCTPct > r.Sector512Pct {
 		t.Error("CGCT should perturb the miss ratio less than sectoring")
+	}
+}
+
+// TestSweepCompilesEachTraceOnce pins the compiled-trace engine's whole
+// point: a figures-style sweep over machine variants (region sizes, CGCT
+// on/off) compiles each distinct (benchmark, seed) workload exactly once
+// — the machine configuration is not part of the trace identity.
+func TestSweepCompilesEachTraceOnce(t *testing.T) {
+	// Distinctive ops/seeds so no other test has already cached these.
+	p := Params{OpsPerProc: 2_002, Seeds: []uint64{771, 772}, Benchmarks: []string{"ocean", "tpc-b"}}.withDefaults()
+	r := newRunner(p)
+	before := trace.SharedStats().Compilations
+	runs := 0
+	for _, bench := range p.Benchmarks {
+		for _, seed := range p.Seeds {
+			for _, region := range []uint64{256, 512, 1024} {
+				for _, on := range []bool{false, true} {
+					r.get(runKey{bench: bench, cgctOn: on, region: region, seed: seed})
+					runs++
+				}
+			}
+		}
+	}
+	distinct := len(p.Benchmarks) * len(p.Seeds)
+	if got := trace.SharedStats().Compilations - before; got != uint64(distinct) {
+		t.Fatalf("%d sweep runs compiled %d traces, want exactly %d (one per distinct workload)", runs, got, distinct)
 	}
 }

@@ -48,10 +48,11 @@ func NewPanicError(v any) *PanicError {
 // entry tracks one key, either in flight (elem == nil, done open) or
 // resident (elem != nil, done closed).
 type entry[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
-	elem *list.Element
+	done   chan struct{}
+	val    V
+	err    error
+	elem   *list.Element
+	weight int64 // resident size per the cache's weigher (0 without one)
 }
 
 // Cache is a singleflight, LRU-bounded result cache. The zero value is not
@@ -62,6 +63,10 @@ type Cache[V any] struct {
 	entries map[string]*entry[V]
 	lru     *list.List    // of string keys; front = most recently used
 	sem     chan struct{} // nil = unlimited compute concurrency
+
+	weigher  func(V) int64 // nil = no byte accounting
+	maxBytes int64         // evict LRU while resident bytes exceed; <= 0 off
+	bytes    int64         // resident bytes per weigher
 
 	hits, misses, evictions uint64
 }
@@ -75,6 +80,9 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	InFlight  int    `json:"in_flight"`
+	// Bytes is the resident size of completed entries per the cache's
+	// weigher; always 0 when no weigher is configured.
+	Bytes int64 `json:"bytes"`
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
@@ -98,6 +106,18 @@ func New[V any](maxEntries, parallel int) *Cache[V] {
 		c.sem = make(chan struct{}, parallel)
 	}
 	return c
+}
+
+// SetWeigher configures byte accounting: fn reports the resident size of
+// a value when it completes, the total appears in Stats.Bytes, and — when
+// maxBytes > 0 — LRU entries are additionally evicted while the resident
+// total exceeds it (the most recently inserted entry is never evicted, so
+// a single oversized value still caches). Call before the cache is used.
+func (c *Cache[V]) SetWeigher(maxBytes int64, fn func(V) int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.weigher = fn
+	c.maxBytes = maxBytes
 }
 
 // Do returns the cached value for key, joins an in-flight computation for
@@ -138,12 +158,11 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 		e.val, e.err = val, err
 		if err == nil {
 			e.elem = c.lru.PushFront(key)
-			for c.max > 0 && c.lru.Len() > c.max {
-				back := c.lru.Back()
-				delete(c.entries, back.Value.(string))
-				c.lru.Remove(back)
-				c.evictions++
+			if c.weigher != nil {
+				e.weight = c.weigher(val)
+				c.bytes += e.weight
 			}
+			c.evictLocked()
 		} else {
 			delete(c.entries, key) // errors are not cached
 		}
@@ -166,6 +185,27 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Conte
 	}
 	val, err := protect(ctx, fn)
 	return finish(val, err)
+}
+
+// evictLocked drops LRU entries while either bound (entry count, resident
+// bytes) is exceeded, never evicting the most recent entry. Callers hold
+// c.mu.
+func (c *Cache[V]) evictLocked() {
+	for c.lru.Len() > 1 {
+		over := (c.max > 0 && c.lru.Len() > c.max) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+		if !over {
+			return
+		}
+		back := c.lru.Back()
+		key := back.Value.(string)
+		if be, ok := c.entries[key]; ok {
+			c.bytes -= be.weight
+		}
+		delete(c.entries, key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
 }
 
 // protect runs fn, converting a panic into a *PanicError so the caller
@@ -198,6 +238,7 @@ func (c *Cache[V]) Stats() Stats {
 		Evictions: c.evictions,
 		Entries:   c.lru.Len(),
 		InFlight:  len(c.entries) - c.lru.Len(),
+		Bytes:     c.bytes,
 	}
 }
 

@@ -251,3 +251,59 @@ func TestPanicErrorStackTruncated(t *testing.T) {
 		t.Fatalf("stack length %d exceeds cap %d", len(pe.Stack), maxPanicStack)
 	}
 }
+
+// TestWeigherBytesAndEviction: with a weigher installed the cache tracks
+// resident bytes and evicts LRU-first past the byte cap — but never the
+// entry it just admitted, so one oversized value still caches.
+func TestWeigherBytesAndEviction(t *testing.T) {
+	c := New[[]byte](0, 0)
+	c.SetWeigher(100, func(v []byte) int64 { return int64(len(v)) })
+	ctx := context.Background()
+	put := func(k string, n int) {
+		t.Helper()
+		if _, err := c.Do(ctx, k, func(context.Context) ([]byte, error) { return make([]byte, n), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a", 40)
+	put("b", 40)
+	if s := c.Stats(); s.Bytes != 80 {
+		t.Fatalf("bytes = %d, want 80", s.Bytes)
+	}
+	put("c", 40) // 120 > 100: evicts a (LRU)
+	s := c.Stats()
+	if s.Bytes != 80 || s.Evictions == 0 {
+		t.Fatalf("after cap: bytes = %d, evictions = %d", s.Bytes, s.Evictions)
+	}
+	if c.Contains("a") || !c.Contains("b") || !c.Contains("c") {
+		t.Fatal("wrong entry evicted")
+	}
+	// An entry bigger than the whole cap evicts everything else but stays
+	// resident itself.
+	put("huge", 500)
+	if !c.Contains("huge") || c.Len() != 1 {
+		t.Fatalf("oversized entry not retained alone (len=%d)", c.Len())
+	}
+	if s := c.Stats(); s.Bytes != 500 {
+		t.Fatalf("bytes = %d, want 500", s.Bytes)
+	}
+}
+
+// TestWeigherComposesWithEntryCap: the entry cap and the byte cap evict
+// independently; bytes stay consistent through entry-cap evictions.
+func TestWeigherComposesWithEntryCap(t *testing.T) {
+	c := New[[]byte](2, 0)
+	c.SetWeigher(1<<20, func(v []byte) int64 { return int64(len(v)) })
+	ctx := context.Background()
+	for i, k := range []string{"a", "b", "c"} {
+		if _, err := c.Do(ctx, k, func(context.Context) ([]byte, error) { return make([]byte, 10+i), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if s := c.Stats(); s.Bytes != 11+12 {
+		t.Fatalf("bytes = %d, want %d after entry-cap eviction", s.Bytes, 11+12)
+	}
+}

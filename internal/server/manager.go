@@ -28,6 +28,7 @@ import (
 	"cgct/internal/faultinject"
 	"cgct/internal/runcache"
 	"cgct/internal/stats"
+	"cgct/internal/trace"
 	"cgct/internal/workload"
 )
 
@@ -695,6 +696,10 @@ type Metrics struct {
 	Cache        runcache.Stats `json:"cache"`
 	CacheHitRate float64        `json:"cache_hit_rate"`
 
+	// TraceCache is the process-wide compiled-trace cache: singleflight
+	// hits/misses, compilations actually performed, and resident bytes.
+	TraceCache trace.Stats `json:"trace_cache"`
+
 	// Job latency (submit → done) percentiles over the recent window, ms.
 	LatencyMsP50   float64 `json:"latency_ms_p50"`
 	LatencyMsP95   float64 `json:"latency_ms_p95"`
@@ -729,6 +734,7 @@ func (m *Manager) Metrics() Metrics {
 		BusyWorkers:       m.busy,
 		Cache:             cs,
 		CacheHitRate:      cs.HitRate(),
+		TraceCache:        trace.SharedStats(),
 		LatencyMsP50:      stats.Quantile(m.latencies, 0.50),
 		LatencyMsP95:      stats.Quantile(m.latencies, 0.95),
 		LatencyMsP99:      stats.Quantile(m.latencies, 0.99),

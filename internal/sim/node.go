@@ -29,6 +29,12 @@ type storeEntry struct {
 	kind workload.OpKind // OpStore, OpDCBZ or OpDCBF
 }
 
+// opBatch is the refill granularity of the trace consumer: the source
+// (a compiled-trace cursor or a generator adapter) decodes this many ops
+// per Fill, so the per-op cost on the hot path is a buffered array read
+// instead of an interface dispatch.
+const opBatch = 128
+
 // node is one processor: caches, optional RCA, prefetcher and the trace
 // consumer state machine.
 type node struct {
@@ -43,7 +49,9 @@ type node struct {
 	nsrt     *regionscout.NSRT
 	pf       *proc.StreamPrefetcher
 
-	gen workload.Generator
+	src          workload.Source
+	opBuf        [opBatch]workload.Op
+	opPos, opLen int
 
 	// Execution state.
 	localTime       event.Cycle
@@ -79,14 +87,14 @@ func (n *node) now() event.Cycle {
 	return n.localTime
 }
 
-func newNode(s *System, id int, gen workload.Generator) *node {
+func newNode(s *System, id int, src workload.Source) *node {
 	n := &node{
 		sys:     s,
 		id:      id,
 		l1i:     cache.New(fmt.Sprintf("p%d.l1i", id), s.cfg.L1I.SizeBytes, s.cfg.L1I.Assoc, s.cfg.L1I.LineBytes),
 		l1d:     cache.New(fmt.Sprintf("p%d.l1d", id), s.cfg.L1D.SizeBytes, s.cfg.L1D.Assoc, s.cfg.L1D.LineBytes),
 		l2:      cache.New(fmt.Sprintf("p%d.l2", id), s.cfg.L2.SizeBytes, s.cfg.L2.Assoc, s.cfg.L2.LineBytes),
-		gen:     gen,
+		src:     src,
 		pending: make(map[addr.LineAddr]*mshr),
 	}
 	if s.cfg.L2SectorBytes > 0 {
@@ -157,12 +165,17 @@ func (n *node) step(now event.Cycle) {
 	}
 	for {
 		if !n.haveOp {
-			op, ok := n.gen.Next()
-			if !ok {
-				n.genExhausted = true
-				n.maybeFinish()
-				return
+			if n.opPos == n.opLen {
+				n.opLen = n.src.Fill(n.opBuf[:])
+				n.opPos = 0
+				if n.opLen == 0 {
+					n.genExhausted = true
+					n.maybeFinish()
+					return
+				}
 			}
+			op := n.opBuf[n.opPos]
+			n.opPos++
 			n.curOp = op
 			n.haveOp = true
 			// Charge the non-memory instruction gap at the commit width,

@@ -71,14 +71,15 @@ type System struct {
 }
 
 // New assembles a system for the given workload. The workload must provide
-// exactly cfg.Topology.Processors generators.
+// exactly cfg.Topology.Processors op streams (generators or batched
+// sources).
 func New(cfg config.Config, w workload.Workload, seed uint64) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(w.Generators) != cfg.Topology.Processors {
-		return nil, fmt.Errorf("sim: workload has %d generators, config has %d processors",
-			len(w.Generators), cfg.Topology.Processors)
+	if w.Procs() != cfg.Topology.Processors {
+		return nil, fmt.Errorf("sim: workload has %d op streams, config has %d processors",
+			w.Procs(), cfg.Topology.Processors)
 	}
 	geom, err := cfg.Geometry()
 	if err != nil {
@@ -100,7 +101,7 @@ func New(cfg config.Config, w workload.Workload, seed uint64) (*System, error) {
 		s.mcs = append(s.mcs, memctrl.New(i, cfg.Net.MemCtrlBanks, cfg.Net.DRAMLatency, cfg.Net.DRAMBankOccupancy))
 	}
 	for i := 0; i < cfg.Topology.Processors; i++ {
-		s.nodes = append(s.nodes, newNode(s, i, w.Generators[i]))
+		s.nodes = append(s.nodes, newNode(s, i, w.Source(i)))
 	}
 	if cfg.DirectoryMode {
 		for i := 0; i < topo.MemControllers(); i++ {
@@ -129,8 +130,14 @@ func (s *System) Run() *stats.Run {
 
 // cancelCheckEvents is how many events RunContext executes between context
 // checks — frequent enough that cancellation lands within microseconds,
-// rare enough to be free on the hot path.
-const cancelCheckEvents = 1 << 16
+// rare enough to be free on the hot path. progressChunkEvents is the finer
+// cadence at which the Progress counter advances within a batch: a full
+// batch can take longer than a watchdog's stall window on a slow machine
+// (or under the race detector), so liveness must be visible sub-batch.
+const (
+	cancelCheckEvents   = 1 << 16
+	progressChunkEvents = 1 << 12
+)
 
 // RunContext executes the workload to completion or until ctx is
 // cancelled, whichever comes first. On cancellation it returns the
@@ -164,22 +171,24 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 		s.dma.start()
 	}
 	done := ctx.Done()
-	progress := progressFrom(ctx)
+	progress := ProgressFrom(ctx)
 	for {
 		if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
 			return &s.run, ferr
 		}
-		for i := 0; i < cancelCheckEvents; i++ {
-			if !s.queue.Step() {
-				s.collect()
-				if progress != nil {
-					progress.events.Add(uint64(i))
+		for chunk := 0; chunk < cancelCheckEvents/progressChunkEvents; chunk++ {
+			for i := 0; i < progressChunkEvents; i++ {
+				if !s.queue.Step() {
+					s.collect()
+					if progress != nil {
+						progress.events.Add(uint64(i))
+					}
+					return &s.run, nil
 				}
-				return &s.run, nil
 			}
-		}
-		if progress != nil {
-			progress.events.Add(cancelCheckEvents)
+			if progress != nil {
+				progress.events.Add(progressChunkEvents)
+			}
 		}
 		if done != nil {
 			select {
@@ -201,6 +210,12 @@ type Progress struct {
 // Events returns the number of events executed so far (batch granularity).
 func (p *Progress) Events() uint64 { return p.events.Load() }
 
+// Add advances the counter by n. Besides RunContext's own batches, the
+// workload-preparation path (compiled-trace generation) feeds the same
+// counter, so a watchdog polling Events sees liveness from the moment a
+// job starts, not only once simulation events begin.
+func (p *Progress) Add(n uint64) { p.events.Add(n) }
+
 type progressCtxKey struct{}
 
 // WithProgress returns a context that makes RunContext advance p as it
@@ -209,7 +224,8 @@ func WithProgress(ctx context.Context, p *Progress) context.Context {
 	return context.WithValue(ctx, progressCtxKey{}, p)
 }
 
-func progressFrom(ctx context.Context) *Progress {
+// ProgressFrom returns the Progress carried by ctx, or nil.
+func ProgressFrom(ctx context.Context) *Progress {
 	p, _ := ctx.Value(progressCtxKey{}).(*Progress)
 	return p
 }

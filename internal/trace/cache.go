@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"cgct/internal/runcache"
+	"cgct/internal/workload"
+)
+
+// Key identifies one compiled trace: everything that determines the op
+// streams. Machine configuration (region size, RCA geometry, protocol
+// variants) deliberately does not appear — that is the point of sharing:
+// every sweep variant over the same workload replays the same slab.
+type Key struct {
+	Benchmark  string
+	Processors int
+	OpsPerProc int
+	Seed       uint64
+}
+
+// normalize applies the same defaults workload.Build would, so callers
+// that leave OpsPerProc zero share a cache entry with callers that spell
+// the default out.
+func (k Key) normalize() Key {
+	if k.OpsPerProc <= 0 {
+		k.OpsPerProc = workload.DefaultOpsPerProc
+	}
+	return k
+}
+
+// String renders the canonical cache key.
+func (k Key) String() string {
+	return fmt.Sprintf("trace|%s|procs=%d|ops=%d|seed=%d", k.Benchmark, k.Processors, k.OpsPerProc, k.Seed)
+}
+
+// Shared-cache bounds. Compiled traces are a few bytes per op; the byte
+// cap, not the entry cap, is the real bound on resident memory.
+const (
+	// MaxSharedOps is the largest workload (processors × ops each) the
+	// shared cache will compile; bigger requests get ErrTooLarge and the
+	// caller falls back to live per-op generation.
+	MaxSharedOps = 32 << 20
+	// maxSharedBytes bounds resident compiled-trace bytes (LRU beyond).
+	maxSharedBytes = 512 << 20
+	// maxSharedEntries bounds the distinct traces resident at once.
+	maxSharedEntries = 64
+)
+
+// ErrTooLarge reports a workload beyond MaxSharedOps. Callers should fall
+// back to live generation rather than materialising a giant slab.
+var ErrTooLarge = errors.New("trace: workload too large for the shared compiled-trace cache")
+
+var (
+	shared       = runcache.New[*Trace](maxSharedEntries, 0)
+	compilations atomic.Uint64
+)
+
+func init() {
+	shared.SetWeigher(maxSharedBytes, func(t *Trace) int64 { return t.Bytes() })
+}
+
+// Get returns the process-wide shared compiled trace for k, compiling it
+// at most once no matter how many simulations — concurrent server jobs,
+// sweep variants, benchmark iterations — ask for it (singleflight). The
+// returned trace is immutable and shared; call its Workload method for
+// replay cursors.
+func Get(ctx context.Context, k Key) (*Trace, error) {
+	k = k.normalize()
+	if k.Processors > 0 && int64(k.Processors)*int64(k.OpsPerProc) > MaxSharedOps {
+		return nil, ErrTooLarge
+	}
+	return shared.Do(ctx, k.String(), func(ctx context.Context) (*Trace, error) {
+		compilations.Add(1)
+		return Compile(ctx, k.Benchmark, workload.Params{
+			Processors: k.Processors,
+			OpsPerProc: k.OpsPerProc,
+			Seed:       k.Seed,
+		})
+	})
+}
+
+// Stats reports shared-cache behaviour: singleflight hits, misses,
+// evictions, resident entries and bytes, plus the number of trace
+// compilations actually performed process-wide.
+type Stats struct {
+	runcache.Stats
+	Compilations uint64 `json:"compilations"`
+}
+
+// SharedStats snapshots the shared cache.
+func SharedStats() Stats {
+	return Stats{Stats: shared.Stats(), Compilations: compilations.Load()}
+}

@@ -68,14 +68,65 @@ type Generator interface {
 	Next() (op Op, ok bool)
 }
 
+// Source is the batched form of Generator consumed by the simulator's hot
+// path: Fill writes up to len(dst) operations into dst and returns how
+// many it wrote. A return of 0 means the stream is exhausted (Fill is
+// never called with an empty dst).
+type Source interface {
+	Fill(dst []Op) int
+}
+
+// GeneratorSource adapts a per-op Generator to the batched Source
+// interface, so user-supplied generators and replayed trace files run
+// through the same refill path as compiled traces.
+type GeneratorSource struct{ G Generator }
+
+// Fill implements Source.
+func (s GeneratorSource) Fill(dst []Op) int {
+	n := 0
+	for n < len(dst) {
+		op, ok := s.G.Next()
+		if !ok {
+			break
+		}
+		dst[n] = op
+		n++
+	}
+	return n
+}
+
 // Workload is a set of per-processor generators plus metadata.
 type Workload struct {
 	Name       string
 	Generators []Generator
+	// Sources, when non-nil, are native batched op streams (one per
+	// processor) that take precedence over Generators — compiled traces
+	// provide these so the simulator refills from a contiguous slab
+	// instead of making one interface call per op.
+	Sources []Source
 	// DMATargets lists the segments I/O devices write into (disk reads
 	// landing in the file cache, network receive buffers). The simulator's
 	// optional DMA agent walks them with DMA-buffer-sized coherent writes.
 	DMATargets []addr.Segment
+}
+
+// Procs returns the number of per-processor op streams the workload
+// provides.
+func (w Workload) Procs() int {
+	if len(w.Sources) > 0 {
+		return len(w.Sources)
+	}
+	return len(w.Generators)
+}
+
+// Source returns the batched op source for processor i: the native
+// batched source when the workload provides one, otherwise an adapter
+// over the per-op Generator.
+func (w Workload) Source(i int) Source {
+	if len(w.Sources) > 0 {
+		return w.Sources[i]
+	}
+	return GeneratorSource{G: w.Generators[i]}
 }
 
 // Params tunes a workload build.
@@ -207,9 +258,19 @@ func (g *SliceGenerator) Next() (Op, bool) {
 	return op, true
 }
 
+// collectChunkCap bounds Collect's up-front allocation: callers routinely
+// pass multi-hundred-thousand-op limits that the generator does fill, so
+// the slice is sized from the hint instead of doubling from nil, but a
+// wildly large max only costs one chunk until ops actually arrive.
+const collectChunkCap = 1 << 20
+
 // Collect drains up to max operations from g into a slice (tooling/tests).
+// The result is preallocated from max as a size hint.
 func Collect(g Generator, max int) []Op {
-	var ops []Op
+	if max <= 0 {
+		return nil
+	}
+	ops := make([]Op, 0, min(max, collectChunkCap))
 	for len(ops) < max {
 		op, ok := g.Next()
 		if !ok {

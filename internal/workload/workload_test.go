@@ -220,3 +220,76 @@ func TestPaperNames(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectPrealloc: Collect sizes its slice from the max hint instead
+// of doubling from nil — one allocation for typical trace lengths.
+func TestCollectPrealloc(t *testing.T) {
+	ops := make([]Op, 10_000)
+	for i := range ops {
+		ops[i] = Op{Kind: OpLoad, Addr: addr.Addr(i * 64)}
+	}
+	g := &SliceGenerator{Ops: ops}
+	got := Collect(g, len(ops))
+	if len(got) != len(ops) {
+		t.Fatalf("collected %d ops, want %d", len(got), len(ops))
+	}
+	if cap(got) != len(ops) {
+		t.Fatalf("cap = %d, want exactly the %d-op hint", cap(got), len(ops))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		g.pos = 0
+		Collect(g, len(ops))
+	})
+	if allocs > 1 {
+		t.Fatalf("Collect allocated %.0f times, want 1", allocs)
+	}
+	if Collect(g, 0) != nil || Collect(g, -1) != nil {
+		t.Error("non-positive max must collect nothing")
+	}
+	// A wildly large hint must not allocate anywhere near the claim.
+	g.pos = 0
+	huge := Collect(g, 1<<40)
+	if len(huge) != len(ops) || cap(huge) > collectChunkCap {
+		t.Fatalf("huge-hint collect: len %d cap %d", len(huge), cap(huge))
+	}
+}
+
+// TestGeneratorSourceAdapter: the Generator→Source adapter preserves the
+// stream and reports exhaustion as 0.
+func TestGeneratorSourceAdapter(t *testing.T) {
+	ops := []Op{{Kind: OpLoad, Addr: 64}, {Kind: OpStore, Addr: 128}, {Kind: OpDCBZ, Addr: 192}}
+	src := GeneratorSource{G: &SliceGenerator{Ops: ops}}
+	var buf [2]Op
+	if n := src.Fill(buf[:]); n != 2 || buf[0] != ops[0] || buf[1] != ops[1] {
+		t.Fatalf("first fill = %d, %v", n, buf)
+	}
+	if n := src.Fill(buf[:]); n != 1 || buf[0] != ops[2] {
+		t.Fatalf("second fill = %d, %v", n, buf)
+	}
+	if n := src.Fill(buf[:]); n != 0 {
+		t.Fatalf("exhausted fill = %d", n)
+	}
+}
+
+// TestWorkloadSources: Sources take precedence over Generators in Procs
+// and Source.
+func TestWorkloadSources(t *testing.T) {
+	w := Workload{
+		Generators: []Generator{&SliceGenerator{}},
+		Sources: []Source{
+			GeneratorSource{G: &SliceGenerator{Ops: []Op{{Kind: OpStore, Addr: 64}}}},
+			GeneratorSource{G: &SliceGenerator{}},
+		},
+	}
+	if w.Procs() != 2 {
+		t.Fatalf("procs = %d, want 2 (sources win)", w.Procs())
+	}
+	var buf [1]Op
+	if n := w.Source(0).Fill(buf[:]); n != 1 || buf[0].Kind != OpStore {
+		t.Fatalf("source 0 fill = %d, %v", n, buf[0])
+	}
+	w.Sources = nil
+	if w.Procs() != 1 {
+		t.Fatalf("procs = %d, want 1 (generator fallback)", w.Procs())
+	}
+}

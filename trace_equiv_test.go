@@ -1,0 +1,98 @@
+package cgct
+
+// Compiled-trace equivalence: replaying a workload through the columnar
+// compiled-trace engine (internal/trace) must be invisible to the
+// simulator — every stats.Run counter bit-identical to the live per-op
+// generator path, for every registered benchmark. This is the contract
+// that lets RunContext serve workloads from the shared trace cache by
+// default without perturbing the golden fixtures.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cgct/internal/sim"
+	"cgct/internal/stats"
+	"cgct/internal/trace"
+	"cgct/internal/workload"
+)
+
+// runPath simulates one configuration with the given workload.
+func runPath(t *testing.T, o Options, w workload.Workload, seed uint64) *stats.Run {
+	t.Helper()
+	cfg, _ := buildConfig(o)
+	system, err := sim.New(cfg, w, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return system.Run()
+}
+
+func TestCompiledTraceEquivalence(t *testing.T) {
+	const (
+		procs = 4
+		ops   = 2_500
+		seed  = 13
+	)
+	p := workload.Params{Processors: procs, OpsPerProc: ops, Seed: seed}
+	for _, bench := range workload.Names() {
+		for _, cgctOn := range []bool{false, true} {
+			o := Options{Processors: procs, OpsPerProc: ops, Seed: seed, CGCT: cgctOn}
+			live := runPath(t, o, workload.MustBuild(bench, p), seed)
+			tr, err := trace.Compile(context.Background(), bench, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled := runPath(t, o, tr.Workload(), seed)
+			if !reflect.DeepEqual(flatten(live), flatten(compiled)) {
+				lf, cf := flatten(live), flatten(compiled)
+				for k, lv := range lf {
+					if cv := cf[k]; cv != lv {
+						t.Errorf("%s cgct=%t: %s = %d compiled, %d live", bench, cgctOn, k, cv, lv)
+					}
+				}
+				t.Fatalf("%s cgct=%t: compiled trace diverged from live generators", bench, cgctOn)
+			}
+		}
+	}
+}
+
+// TestRunUsesCompiledPath: the public Run (which serves workloads from
+// the shared trace cache) matches a hand-built live-generator simulation
+// of the same golden configuration, and actually hits the trace cache on
+// repeat.
+func TestRunUsesCompiledPath(t *testing.T) {
+	c := goldenCase{"tpcw-cgct", "tpc-w", Options{OpsPerProc: 30_000, Seed: 9, CGCT: true}}
+	live := flatten(runStats(t, c))
+
+	res, err := Run(c.Benchmark, c.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != live["Cycles"] || res.Instructions != live["Instructions"] {
+		t.Fatalf("compiled-path Run: %d cycles / %d instrs, live path %d / %d",
+			res.Cycles, res.Instructions, live["Cycles"], live["Instructions"])
+	}
+
+	hitsBefore := trace.SharedStats().Hits
+	if _, err := Run(c.Benchmark, c.Opts); err != nil {
+		t.Fatal(err)
+	}
+	if trace.SharedStats().Hits == hitsBefore {
+		t.Fatal("second identical Run did not hit the shared trace cache")
+	}
+}
+
+// TestRunFallsBackWhenTooLarge: a workload beyond the shared cache's op
+// budget must still run (live generation), not fail.
+func TestRunFallsBackWhenTooLarge(t *testing.T) {
+	// 1024 procs × 64K ops > MaxSharedOps: buildWorkload must fall back.
+	w, err := buildWorkload(context.Background(), "ocean", Options{Processors: 1024, OpsPerProc: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Sources) != 0 || len(w.Generators) != 1024 {
+		t.Fatalf("fallback workload: %d sources, %d generators", len(w.Sources), len(w.Generators))
+	}
+}
