@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"cgct/internal/coherence"
 	"cgct/internal/config"
@@ -293,23 +294,33 @@ func Run(benchmark string, o Options) (*Result, error) {
 
 // RunContext is Run with cancellation: the simulation aborts (returning
 // ctx.Err()) shortly after ctx is cancelled, instead of running the
-// workload to completion.
+// workload to completion. When ctx carries a span recorder (see
+// WithSpanRecorder), the run's phases — trace-compile, simulate,
+// aggregate — are reported as contiguous wall-clock spans.
 func RunContext(ctx context.Context, benchmark string, o Options) (*Result, error) {
+	rec := spanRecorderFrom(ctx)
+	t0 := time.Now()
 	cfg, o2 := buildConfig(o)
 	w, err := buildWorkload(ctx, benchmark, o2)
 	if err != nil {
 		return nil, err
 	}
+	t1 := time.Now()
+	recordSpan(rec, PhaseTraceCompile, t0, t1)
 	system, err := sim.New(cfg, w, o2.Seed)
 	if err != nil {
 		return nil, err
 	}
 	system.DebugChecks = o.DebugChecks
 	run, err := system.RunContext(ctx)
+	t2 := time.Now()
+	recordSpan(rec, PhaseSimulate, t1, t2)
 	if err != nil {
 		return nil, err
 	}
-	return summarize(benchmark, o2, run), nil
+	res := summarize(benchmark, o2, run)
+	recordSpan(rec, PhaseAggregate, t2, time.Now())
+	return res, nil
 }
 
 // buildWorkload is the default workload path: the benchmark's op streams

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -184,20 +185,34 @@ func compare(baselinePath string, results []benchResult) {
 		fmt.Fprintf(os.Stderr, "cgctbench: baseline unreadable: %v\n", err)
 		return
 	}
+	fmt.Printf("\nvs %s:\n", baselinePath)
+	for _, line := range compareLines(results, base.Results) {
+		fmt.Println(line)
+	}
+}
+
+// compareLines renders one delta line per result against the baseline by
+// config name. Pure (no I/O) so the formatting is unit-testable. A config
+// missing from the baseline — or one whose baseline throughput is zero or
+// otherwise yields a non-finite delta (a partial or zero-valued baseline
+// file) — reports "(no baseline)"; the output never contains NaN% or Inf%.
+func compareLines(results, baseline []benchResult) []string {
 	byName := map[string]benchResult{}
-	for _, r := range base.Results {
+	for _, r := range baseline {
 		byName[r.Name] = r
 	}
-	fmt.Printf("\nvs %s:\n", baselinePath)
+	lines := make([]string, 0, len(results))
 	for _, r := range results {
 		b, ok := byName[r.Name]
-		if !ok || b.TraceOpsSec == 0 {
-			fmt.Printf("  %-18s (no baseline)\n", r.Name)
+		pct := 100 * (r.TraceOpsSec/b.TraceOpsSec - 1)
+		if !ok || math.IsNaN(pct) || math.IsInf(pct, 0) {
+			lines = append(lines, fmt.Sprintf("  %-18s (no baseline)", r.Name))
 			continue
 		}
-		fmt.Printf("  %-18s trace-ops/s %+7.1f%%   allocs/op %+d\n",
-			r.Name, 100*(r.TraceOpsSec/b.TraceOpsSec-1), r.AllocsPerOp-b.AllocsPerOp)
+		lines = append(lines, fmt.Sprintf("  %-18s trace-ops/s %+7.1f%%   allocs/op %+d",
+			r.Name, pct, r.AllocsPerOp-b.AllocsPerOp))
 	}
+	return lines
 }
 
 func main() {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestCompareLinesZeroBaseline is the divide-by-zero regression test: a
+// zero-valued or partial baseline file must render as "(no baseline)",
+// never as a NaN% or Inf% delta.
+func TestCompareLinesZeroBaseline(t *testing.T) {
+	results := []benchResult{
+		{Name: "cgct-ocean", TraceOpsSec: 1_000_000, AllocsPerOp: 12},
+		{Name: "cgct-tpcw", TraceOpsSec: 900_000},
+		{Name: "zeroed", TraceOpsSec: 0},
+	}
+	baseline := []benchResult{
+		{Name: "cgct-ocean", TraceOpsSec: 0}, // zero-valued entry
+		{Name: "zeroed", TraceOpsSec: 0},     // 0/0 would be NaN
+		// "cgct-tpcw" absent entirely
+	}
+	lines := compareLines(results, baseline)
+	if len(lines) != len(results) {
+		t.Fatalf("got %d lines for %d results", len(lines), len(results))
+	}
+	for _, line := range lines {
+		if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+			t.Errorf("delta line leaks a non-finite value: %q", line)
+		}
+		if !strings.Contains(line, "(no baseline)") {
+			t.Errorf("want \"(no baseline)\" marker, got %q", line)
+		}
+	}
+}
+
+// TestCompareLinesDelta checks the normal path: finite percentage and
+// alloc deltas against a usable baseline.
+func TestCompareLinesDelta(t *testing.T) {
+	results := []benchResult{{Name: "cgct-ocean", TraceOpsSec: 150, AllocsPerOp: 10}}
+	baseline := []benchResult{{Name: "cgct-ocean", TraceOpsSec: 100, AllocsPerOp: 13}}
+	lines := compareLines(results, baseline)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "+50.0%") || !strings.Contains(lines[0], "allocs/op -3") {
+		t.Errorf("unexpected delta line: %q", lines[0])
+	}
+}
+
+// TestCompareLinesNaNResult: even a corrupt current measurement must not
+// leak NaN into the report.
+func TestCompareLinesNaNResult(t *testing.T) {
+	results := []benchResult{{Name: "x", TraceOpsSec: math.NaN()}}
+	baseline := []benchResult{{Name: "x", TraceOpsSec: 100}}
+	lines := compareLines(results, baseline)
+	if len(lines) != 1 || !strings.Contains(lines[0], "(no baseline)") {
+		t.Fatalf("NaN measurement not suppressed: %v", lines)
+	}
+}

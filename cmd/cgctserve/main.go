@@ -26,11 +26,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener's mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -41,17 +43,26 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "admission queue capacity (overflow gets 429)")
-		cache   = flag.Int("cache", 1024, "result cache capacity, entries (LRU)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
-		timeout = flag.Duration("job-timeout", 30*time.Minute, "per-job wall-clock deadline (0 = none; requests may set a shorter timeout_ms)")
-		stall   = flag.Duration("watchdog", 2*time.Minute, "fail a running job whose simulation makes no progress for this long (0 = disabled)")
-		smoke   = flag.Bool("smoke", false, "serve on a loopback port, run a client round trip, and exit")
-		pprofAt = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue capacity (overflow gets 429)")
+		cache    = flag.Int("cache", 1024, "result cache capacity, entries (LRU)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		timeout  = flag.Duration("job-timeout", 30*time.Minute, "per-job wall-clock deadline (0 = none; requests may set a shorter timeout_ms)")
+		stall    = flag.Duration("watchdog", 2*time.Minute, "fail a running job whose simulation makes no progress for this long (0 = disabled)")
+		smoke    = flag.Bool("smoke", false, "serve on a loopback port, run a client round trip, and exit")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		traceOut = flag.String("trace-out", "", "write completed jobs' phase spans as chrome://tracing JSON to this path on shutdown")
+		logFmt   = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFmt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *pprofAt != "" {
 		// A separate listener keeps the profiling endpoints off the public
@@ -59,31 +70,67 @@ func main() {
 		// http.DefaultServeMux.
 		go func() {
 			if err := http.ListenAndServe(*pprofAt, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+				logger.Error("pprof listener failed", "addr", *pprofAt, "error", err.Error())
 			}
 		}()
 	}
 
 	opts := server.Options{
 		Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache,
-		DefaultTimeout: *timeout, WatchdogStall: *stall,
+		DefaultTimeout: *timeout, WatchdogStall: *stall, Logger: logger,
 	}
 	if *smoke {
-		if err := runSmoke(opts, *drain); err != nil {
+		if err := runSmoke(opts, *drain, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "smoke: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println("smoke: ok")
 		return
 	}
-	if err := serve(*addr, opts, *drain); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := serve(*addr, opts, *drain, *traceOut, logger); err != nil {
+		logger.Error("server exited", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
+// buildLogger constructs the process logger: structured slog on stderr in
+// the requested encoding.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("cgctserve: unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// writeTraceOut dumps the manager's completed-job phase spans as
+// chrome://tracing JSON. Called after drain, so every retained job is
+// terminal and its span record final.
+func writeTraceOut(m *server.Manager, path string, logger *slog.Logger) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logger.Error("trace-out: create failed", "path", path, "error", err.Error())
+		return
+	}
+	err = m.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		logger.Error("trace-out: write failed", "path", path, "error", err.Error())
+		return
+	}
+	logger.Info("trace-out written", "path", path)
+}
+
 // serve runs the server until SIGTERM/SIGINT, then drains and exits.
-func serve(addr string, opts server.Options, drainTimeout time.Duration) error {
+func serve(addr string, opts server.Options, drainTimeout time.Duration, traceOut string, logger *slog.Logger) error {
 	s := server.New(opts)
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 
@@ -92,19 +139,21 @@ func serve(addr string, opts server.Options, drainTimeout time.Duration) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	fmt.Printf("cgctserve: listening on %s (%d workers, queue %d, cache %d)\n",
-		addr, s.Manager().Metrics().Workers, opts.QueueCapacity, opts.CacheEntries)
+	logger.Info("listening",
+		"addr", addr, "workers", s.Manager().Metrics().Workers,
+		"queue", opts.QueueCapacity, "cache", opts.CacheEntries)
 
 	select {
 	case err := <-errc:
 		return err // listener failed before any signal
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(os.Stderr, "cgctserve: signal received, draining (deadline %s)\n", drainTimeout)
+	logger.Info("signal received, draining", "deadline", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := s.Manager().Drain(dctx)              // reject new work, finish running jobs
 	shutdownErr := hs.Shutdown(context.Background()) // then close the listener
+	writeTraceOut(s.Manager(), traceOut, logger)
 	if drainErr != nil {
 		return fmt.Errorf("drain: running jobs force-cancelled after %s: %w", drainTimeout, drainErr)
 	}
@@ -113,8 +162,9 @@ func serve(addr string, opts server.Options, drainTimeout time.Duration) error {
 
 // runSmoke is the end-to-end self-test: start on a loopback port, push a
 // tiny job through the whole lifecycle with the Go client, verify the
-// cache dedupes a resubmission, and drain.
-func runSmoke(opts server.Options, drainTimeout time.Duration) error {
+// cache dedupes a resubmission and the Prometheus exposition is live,
+// check the job's phase breakdown, and drain (writing -trace-out if set).
+func runSmoke(opts server.Options, drainTimeout time.Duration, traceOut string) error {
 	s := server.New(opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -168,10 +218,30 @@ func runSmoke(opts server.Options, drainTimeout time.Duration) error {
 	}
 	fmt.Printf("smoke: resubmission served from cache (hit rate %.2f, p50 %.0f ms)\n", m.CacheHitRate, m.LatencyMsP50)
 
+	// The leader job must carry the phase breakdown of its run.
+	if len(st.Phases) == 0 {
+		return errors.New("job status has no phase spans")
+	}
+	for _, p := range st.Phases {
+		fmt.Printf("smoke: phase %-13s %8.2f ms\n", p.Name, p.DurationMs)
+	}
+
+	// Prometheus exposition must be live and agree with the JSON snapshot.
+	text, err := c.PrometheusMetrics(ctx)
+	if err != nil {
+		return fmt.Errorf("prometheus metrics: %w", err)
+	}
+	want := fmt.Sprintf("cgct_jobs_submitted_total %d", m.JobsSubmitted)
+	if !strings.Contains(text, want) {
+		return fmt.Errorf("/metrics missing %q", want)
+	}
+	fmt.Println("smoke: /metrics exposition agrees with /v1/metrics")
+
 	dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer dcancel()
 	if err := s.Manager().Drain(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
+	writeTraceOut(s.Manager(), traceOut, slog.Default())
 	return nil
 }

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// metric family, then one sample line per series, deterministically
+// ordered. Histograms expand to cumulative _bucket{le="..."} series plus
+// _sum and _count, as scrapers expect.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, in := range r.snapshot() {
+		if in.name != lastFamily {
+			if in.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", in.name, escapeHelp(in.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", in.name, in.kind)
+			lastFamily = in.name
+		}
+		switch {
+		case in.hist != nil:
+			writeHistogram(&b, in)
+		case in.fn != nil:
+			writeSample(&b, in.name, in.labels, in.fn())
+		case in.counter != nil:
+			writeSample(&b, in.name, in.labels, float64(in.counter.Value()))
+		default:
+			writeSample(&b, in.name, in.labels, float64(in.gauge.Value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders the cumulative bucket series, then _sum and
+// _count. Bucket counts are summed low-to-high so each le bucket reports
+// everything at or below its bound.
+func writeHistogram(b *strings.Builder, in *instrument) {
+	var cum uint64
+	for i, bound := range in.hist.bounds {
+		cum += in.hist.counts[i].Load()
+		writeSample(b, in.name+"_bucket", withLE(in.labels, formatFloat(bound)), float64(cum))
+	}
+	cum += in.hist.counts[len(in.hist.bounds)].Load()
+	writeSample(b, in.name+"_bucket", withLE(in.labels, "+Inf"), float64(cum))
+	writeSample(b, in.name+"_sum", in.labels, in.hist.Sum())
+	writeSample(b, in.name+"_count", in.labels, float64(in.hist.Count()))
+}
+
+func withLE(labels []Label, le string) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Key: "le", Value: le})
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, v float64) {
+	b.WriteString(name)
+	b.WriteString(renderLabels(labels))
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// renderLabels renders {k="v",...} (empty string for no labels), escaping
+// label values per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders the shortest exact decimal form, with the spellings
+// the exposition format requires for the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

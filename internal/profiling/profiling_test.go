@@ -1,0 +1,96 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesBothProfiles exercises the normal path: both profiles
+// are created, closed, and non-empty after stop.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Do a little allocation work so the profiles have samples to record.
+	sink := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestStartSkipsEmptyPaths: empty paths mean "no profile", and stop is
+// still safe to call.
+func TestStartSkipsEmptyPaths(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start with no paths: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop with no profiles: %v", err)
+	}
+}
+
+// TestStartMemOnly: a mem-only run must not start the CPU profiler, and
+// the allocation profile still lands.
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.out")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("alloc profile missing or empty: %v", err)
+	}
+}
+
+// TestStartUnwritableCPUPath: an uncreatable CPU path fails Start up
+// front, before any profiling begins.
+func TestStartUnwritableCPUPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "missing-dir", "cpu.out")
+	if _, err := Start(bad, ""); err == nil {
+		t.Fatal("Start succeeded with an unwritable cpu path")
+	}
+}
+
+// TestStopUnwritableMemPath: the mem path is only touched at stop time,
+// so a bad path surfaces as a stop error — and must not clobber the CPU
+// profile written in the same call.
+func TestStopUnwritableMemPath(t *testing.T) {
+	cpu := filepath.Join(t.TempDir(), "cpu.out")
+	bad := filepath.Join(t.TempDir(), "missing-dir", "mem.out")
+	stop, err := Start(cpu, bad)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with an unwritable mem path")
+	}
+	fi, err := os.Stat(cpu)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("cpu profile lost to the mem-path error: %v", err)
+	}
+}

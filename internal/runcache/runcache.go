@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"cgct/internal/metrics"
 )
 
 // PanicError is the error a panicking compute function is converted to: the
@@ -226,6 +228,25 @@ func (c *Cache[V]) Contains(key string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.entries[key]
 	return ok
+}
+
+// RegisterMetrics registers the cache's behaviour into reg under the
+// given metric-name prefix (e.g. "cgct_result_cache"): hit/miss/eviction
+// counters and residency gauges, all read live from Stats at scrape time
+// so the exposition can never disagree with the JSON snapshot.
+func (c *Cache[V]) RegisterMetrics(reg *metrics.Registry, prefix string, labels ...metrics.Label) {
+	reg.CounterFunc(prefix+"_hits_total", "cache hits, including singleflight joins",
+		func() float64 { return float64(c.Stats().Hits) }, labels...)
+	reg.CounterFunc(prefix+"_misses_total", "cache misses (fresh computations started)",
+		func() float64 { return float64(c.Stats().Misses) }, labels...)
+	reg.CounterFunc(prefix+"_evictions_total", "entries evicted by the LRU bounds",
+		func() float64 { return float64(c.Stats().Evictions) }, labels...)
+	reg.GaugeFunc(prefix+"_entries", "resident completed entries",
+		func() float64 { return float64(c.Stats().Entries) }, labels...)
+	reg.GaugeFunc(prefix+"_in_flight", "computations currently in flight",
+		func() float64 { return float64(c.Stats().InFlight) }, labels...)
+	reg.GaugeFunc(prefix+"_bytes", "resident bytes per the cache's weigher",
+		func() float64 { return float64(c.Stats().Bytes) }, labels...)
 }
 
 // Stats snapshots the counters.

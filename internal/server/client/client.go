@@ -240,6 +240,28 @@ func (c *Client) Metrics(ctx context.Context) (server.Metrics, error) {
 	return m, err
 }
 
+// PrometheusMetrics fetches /metrics — the same registry as Metrics, in
+// Prometheus text exposition format — and returns the raw text.
+func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	return string(raw), nil
+}
+
 // Healthy reports whether /v1/healthz returns 200. Health checks never
 // retry, even on a retry-enabled client: a draining server's 503 is the
 // answer, not an obstacle.

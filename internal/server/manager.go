@@ -19,6 +19,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -26,7 +28,9 @@ import (
 	"cgct"
 	"cgct/internal/experiments"
 	"cgct/internal/faultinject"
+	"cgct/internal/metrics"
 	"cgct/internal/runcache"
+	"cgct/internal/sim"
 	"cgct/internal/stats"
 	"cgct/internal/trace"
 	"cgct/internal/workload"
@@ -158,6 +162,17 @@ func (r *JobRequest) normalize() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// PhaseSpan is the wire form of one phase of a job's lifecycle:
+// queued → admitted → trace-compile → simulate → aggregate → finalize
+// for a sim job that led its computation, queued → execute for cache
+// followers and experiment jobs. Spans are contiguous, so their durations
+// sum to the job's total latency.
+type PhaseSpan struct {
+	Name       string    `json:"name"`
+	StartedAt  time.Time `json:"started_at"`
+	DurationMs float64   `json:"duration_ms"`
+}
+
 // JobStatus is the wire form of a job's lifecycle state.
 type JobStatus struct {
 	ID    string   `json:"id"`
@@ -179,6 +194,9 @@ type JobStatus struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Phases is the job's wall-clock phase breakdown, present once the job
+	// is terminal; span durations sum to ElapsedMs.
+	Phases []PhaseSpan `json:"phases,omitempty"`
 }
 
 // job is the manager-internal job record. Mutable fields are guarded by
@@ -211,6 +229,47 @@ type job struct {
 	progress   *cgct.Progress
 	lastEvents uint64
 	progressAt time.Time
+
+	// spans are the run phases reported by cgct.RunContext while this job
+	// led the computation (empty for cache followers and experiments).
+	spans []cgct.Span
+}
+
+// phases renders the job's contiguous phase breakdown. Terminal jobs
+// only; each phase starts where the previous ended, so durations sum to
+// the job's total latency exactly. Caller holds Manager.mu.
+func (j *job) phases() []PhaseSpan {
+	if !j.state.Terminal() || j.finished.IsZero() {
+		return nil
+	}
+	var out []PhaseSpan
+	add := func(name string, start, end time.Time) {
+		if end.Before(start) {
+			end = start
+		}
+		out = append(out, PhaseSpan{
+			Name:       name,
+			StartedAt:  start,
+			DurationMs: float64(end.Sub(start)) / float64(time.Millisecond),
+		})
+	}
+	if !j.hasStarted {
+		add("queued", j.submitted, j.finished) // cancelled before a worker picked it up
+		return out
+	}
+	add("queued", j.submitted, j.started)
+	if len(j.spans) == 0 {
+		// Cache follower, experiment, or a run that failed before phase
+		// reporting: one opaque execution span keeps the tiling exact.
+		add("execute", j.started, j.finished)
+		return out
+	}
+	add("admitted", j.started, j.spans[0].Start)
+	for _, s := range j.spans {
+		add(s.Name, s.Start, s.End)
+	}
+	add("finalize", j.spans[len(j.spans)-1].End, j.finished)
+	return out
 }
 
 // Options configures a Manager. Zero values select sensible defaults.
@@ -236,6 +295,11 @@ type Options struct {
 	// counter has not advanced for this long — a livelock/hang backstop
 	// independent of the wall-clock deadline (0 = watchdog disabled).
 	WatchdogStall time.Duration
+	// Logger receives the manager's structured logs (job lifecycle with
+	// job id / config hash / failure kind attrs, watchdog kills, drain).
+	// nil discards them — tests and library embedders stay quiet unless
+	// they opt in.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -277,6 +341,20 @@ type Manager struct {
 	queue chan *job
 	stop  chan struct{}
 	wg    sync.WaitGroup
+	log   *slog.Logger
+
+	// Observability registry and its instruments. Monotonic counts live in
+	// lock-free registry counters — the single source of truth read by both
+	// the JSON snapshot and the Prometheus exposition, so the two can never
+	// disagree. Point-in-time values (queue depth, busy workers, job
+	// states) are registered as funcs reading live manager state.
+	reg           *metrics.Registry
+	jobsSubmitted *metrics.Counter
+	jobsCompleted *metrics.Counter // jobs that reached a terminal state
+	panics        *metrics.Counter // panics recovered (worker boundary + compute leaders)
+	deadlines     *metrics.Counter // jobs failed by their wall-clock deadline
+	watchdogKills *metrics.Counter // jobs killed by the progress watchdog
+	jobLatency    *metrics.Histogram
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -284,18 +362,19 @@ type Manager struct {
 	seq       uint64
 	draining  bool
 	busy      int
-	completed uint64 // jobs that reached a terminal state
 	latencies []float64
 	latIdx    int
-
-	// Fault-containment counters (guarded by mu).
-	panics        uint64 // panics recovered (worker boundary + compute leaders)
-	deadlines     uint64 // jobs failed by their wall-clock deadline
-	watchdogKills uint64 // jobs killed by the progress watchdog
 
 	// execute computes one job's result; swappable in tests to control
 	// timing without running real simulations.
 	execute func(j *job) (any, error)
+}
+
+// jobLatencyBuckets are the cgct_job_latency_seconds histogram bounds:
+// cached hits land in the millisecond buckets, real simulations in the
+// seconds-to-minutes range, and the deadline/watchdog tail above that.
+var jobLatencyBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
 // NewManager builds the manager and starts its worker pool.
@@ -307,7 +386,12 @@ func NewManager(o Options) *Manager {
 		queue: make(chan *job, o.QueueCapacity),
 		stop:  make(chan struct{}),
 		jobs:  make(map[string]*job),
+		log:   o.Logger,
 	}
+	if m.log == nil {
+		m.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	m.initMetrics()
 	m.execute = m.executeCached
 	for i := 0; i < o.Workers; i++ {
 		m.wg.Add(1)
@@ -319,6 +403,63 @@ func NewManager(o Options) *Manager {
 	}
 	return m
 }
+
+// initMetrics builds the manager's registry: its own counters and the
+// live gauges over queue/worker/job state, plus the result cache, the
+// process-wide compiled-trace cache, and the simulator's event counter.
+func (m *Manager) initMetrics() {
+	r := metrics.NewRegistry()
+	m.reg = r
+	m.jobsSubmitted = r.Counter("cgct_jobs_submitted_total", "jobs admitted past admission control")
+	m.jobsCompleted = r.Counter("cgct_jobs_completed_total", "jobs that reached a terminal state")
+	m.panics = r.Counter("cgct_panics_recovered_total", "panics converted to job failures")
+	m.deadlines = r.Counter("cgct_deadlines_exceeded_total", "jobs failed by their wall-clock deadline")
+	m.watchdogKills = r.Counter("cgct_watchdog_kills_total", "jobs killed by the progress watchdog")
+	m.jobLatency = r.Histogram("cgct_job_latency_seconds", "submit-to-done latency of successful jobs", jobLatencyBuckets)
+
+	r.GaugeFunc("cgct_queue_depth", "jobs waiting in the admission queue",
+		func() float64 { return float64(len(m.queue)) })
+	r.GaugeFunc("cgct_queue_capacity", "admission queue capacity",
+		func() float64 { return float64(m.opts.QueueCapacity) })
+	r.GaugeFunc("cgct_workers", "worker pool size",
+		func() float64 { return float64(m.opts.Workers) })
+	r.GaugeFunc("cgct_busy_workers", "workers currently executing a job",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.busy) })
+	r.GaugeFunc("cgct_draining", "1 while the manager is shutting down",
+		func() float64 {
+			if m.Draining() {
+				return 1
+			}
+			return 0
+		})
+	for _, state := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		state := state
+		r.GaugeFunc("cgct_jobs", "retained job records by lifecycle state",
+			func() float64 { return float64(m.countState(state)) },
+			metrics.Label{Key: "state", Value: string(state)})
+	}
+	m.cache.RegisterMetrics(r, "cgct_result_cache")
+	trace.RegisterMetrics(r)
+	r.CounterFunc("cgct_sim_events_total", "simulated events executed process-wide, batch granularity",
+		func() float64 { return float64(sim.EventsTotal()) })
+}
+
+// countState counts retained job records in one lifecycle state.
+func (m *Manager) countState(s JobState) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.state == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Registry exposes the manager's metrics registry; the HTTP layer serves
+// it as Prometheus text on GET /metrics.
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
 
 // SetExecutorForTest replaces the manager's compute function, bypassing
 // the result cache — a deterministic-timing seam for tests (block until
@@ -379,8 +520,23 @@ func (m *Manager) Submit(req JobRequest) (JobStatus, error) {
 	}
 	m.jobs[j.id] = j
 	st := m.statusLocked(j)
+	queued := len(m.queue)
 	m.mu.Unlock()
+	m.jobsSubmitted.Inc()
+	// Log from the status snapshot taken under mu: a worker may already be
+	// mutating the job record by now.
+	m.log.Info("job submitted",
+		"job_id", j.id, "type", req.Type, "config_hash", shortHash(key),
+		"cache_hit", st.CacheHit, "queue_depth", queued)
 	return st, nil
+}
+
+// shortHash abbreviates a content-address for log lines.
+func shortHash(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Status returns the current lifecycle state of a job.
@@ -462,6 +618,7 @@ func (m *Manager) statusLocked(j *job) JobStatus {
 	if j.state.Terminal() && !j.finished.IsZero() {
 		t := j.finished
 		st.FinishedAt = &t
+		st.Phases = j.phases()
 	}
 	return st
 }
@@ -478,7 +635,7 @@ func (m *Manager) finishLocked(j *job, state JobState, failureKind, errMsg strin
 	j.failureKind = failureKind
 	j.errMsg = errMsg
 	j.finished = time.Now()
-	m.completed++
+	m.jobsCompleted.Inc()
 	if state == StateDone {
 		lat := float64(j.finished.Sub(j.submitted).Milliseconds())
 		if len(m.latencies) < m.opts.LatencyWindow {
@@ -487,12 +644,17 @@ func (m *Manager) finishLocked(j *job, state JobState, failureKind, errMsg strin
 			m.latencies[m.latIdx] = lat
 			m.latIdx = (m.latIdx + 1) % m.opts.LatencyWindow
 		}
+		m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
 	}
 	m.finished = append(m.finished, j.id)
 	for len(m.finished) > m.opts.JobHistory {
 		delete(m.jobs, m.finished[0])
 		m.finished = m.finished[1:]
 	}
+	m.log.Info("job finished",
+		"job_id", j.id, "type", j.request.Type, "config_hash", shortHash(j.key),
+		"state", string(state), "failure_kind", failureKind, "error", errMsg,
+		"cache_hit", j.cacheHit, "elapsed_ms", j.finished.Sub(j.submitted).Milliseconds())
 }
 
 // worker is one pool goroutine: it drains the queue until the manager
@@ -554,14 +716,14 @@ func (m *Manager) runJob(j *job) {
 	case j.ctx.Err() != nil:
 		m.finishLocked(j, StateCancelled, "", "cancelled while running")
 	case runCtx.Err() != nil:
-		m.deadlines++
+		m.deadlines.Inc()
 		m.finishLocked(j, StateFailed, "deadline",
 			fmt.Sprintf("deadline exceeded after %v", j.timeout))
 	case errors.As(err, &pe):
 		if j.leading {
 			// Recovered inside the cache compute fn while this job led it;
 			// the worker-boundary recover never saw it, so count it here.
-			m.panics++
+			m.panics.Inc()
 		}
 		m.finishLocked(j, StateFailed, "panic", pe.Error())
 	default:
@@ -578,9 +740,7 @@ func (m *Manager) runJob(j *job) {
 func (m *Manager) executeProtected(j *job) (res any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.mu.Lock()
-			m.panics++
-			m.mu.Unlock()
+			m.panics.Inc()
 			res, err = nil, runcache.NewPanicError(r)
 		}
 	}()
@@ -597,12 +757,21 @@ func (m *Manager) noteLeading(j *job) *cgct.Progress {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.leading = true
+	j.spans = nil // a retried leadership starts a fresh phase record
 	if j.request.Type == TypeSim {
 		j.progress = &cgct.Progress{}
 		j.lastEvents = 0
 		j.progressAt = time.Now()
 	}
 	return j.progress
+}
+
+// recordSpan appends one run phase to the job record; it is the recorder
+// RunContext calls from the compute leader's goroutine.
+func (m *Manager) recordSpan(j *job, s cgct.Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.spans = append(j.spans, s)
 }
 
 // executeCached is the default execute: singleflight through the shared
@@ -618,6 +787,7 @@ func (m *Manager) executeCached(j *job) (any, error) {
 			if p != nil {
 				ctx = cgct.WithProgress(ctx, p)
 			}
+			ctx = cgct.WithSpanRecorder(ctx, func(s cgct.Span) { m.recordSpan(j, s) })
 			return runRequest(ctx, j.request)
 		})
 		// If we were a follower of a leader that got cancelled, timed out
@@ -658,8 +828,11 @@ func (m *Manager) watchdog() {
 					continue
 				}
 				if now.Sub(j.progressAt) >= m.opts.WatchdogStall && j.ctx.Err() == nil {
-					m.watchdogKills++
+					m.watchdogKills.Inc()
 					j.cancel(ErrWatchdogStall)
+					m.log.Warn("watchdog killed job",
+						"job_id", j.id, "config_hash", shortHash(j.key),
+						"stalled_for", m.opts.WatchdogStall.String(), "events", j.lastEvents)
 				}
 			}
 			m.mu.Unlock()
@@ -684,6 +857,7 @@ func runRequest(ctx context.Context, req JobRequest) (any, error) {
 // Metrics is the wire form of GET /v1/metrics.
 type Metrics struct {
 	JobsByState   map[JobState]int `json:"jobs_by_state"`
+	JobsSubmitted uint64           `json:"jobs_submitted"`
 	JobsCompleted uint64           `json:"jobs_completed"`
 
 	QueueDepth    int `json:"queue_depth"`
@@ -725,9 +899,13 @@ func (m *Manager) Metrics() Metrics {
 		byState[j.state]++
 	}
 	cs := m.cache.Stats()
+	// One copy-and-sort of the latency window serves all three
+	// percentiles (stats.Quantiles), instead of a sort per quantile.
+	qs := stats.Quantiles(m.latencies, 0.50, 0.95, 0.99)
 	out := Metrics{
 		JobsByState:       byState,
-		JobsCompleted:     m.completed,
+		JobsSubmitted:     m.jobsSubmitted.Value(),
+		JobsCompleted:     m.jobsCompleted.Value(),
 		QueueDepth:        len(m.queue),
 		QueueCapacity:     m.opts.QueueCapacity,
 		Workers:           m.opts.Workers,
@@ -735,13 +913,13 @@ func (m *Manager) Metrics() Metrics {
 		Cache:             cs,
 		CacheHitRate:      cs.HitRate(),
 		TraceCache:        trace.SharedStats(),
-		LatencyMsP50:      stats.Quantile(m.latencies, 0.50),
-		LatencyMsP95:      stats.Quantile(m.latencies, 0.95),
-		LatencyMsP99:      stats.Quantile(m.latencies, 0.99),
+		LatencyMsP50:      qs[0],
+		LatencyMsP95:      qs[1],
+		LatencyMsP99:      qs[2],
 		LatencySamples:    len(m.latencies),
-		PanicsRecovered:   m.panics,
-		DeadlinesExceeded: m.deadlines,
-		WatchdogKills:     m.watchdogKills,
+		PanicsRecovered:   m.panics.Value(),
+		DeadlinesExceeded: m.deadlines.Value(),
+		WatchdogKills:     m.watchdogKills.Value(),
 		Draining:          m.draining,
 	}
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
@@ -766,6 +944,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.draining = true
 	m.mu.Unlock()
 	if !already {
+		m.log.Info("draining", "queue_depth", len(m.queue))
 		close(m.stop)
 	}
 

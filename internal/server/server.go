@@ -13,7 +13,8 @@ import (
 //	GET    /v1/jobs/{id}      lifecycle status with queue position
 //	GET    /v1/jobs/{id}/result  full result JSON of a done job (409 otherwise)
 //	DELETE /v1/jobs/{id}      cancel (queued: immediate; running: via context)
-//	GET    /v1/metrics        queue/worker/cache/latency metrics
+//	GET    /v1/metrics        queue/worker/cache/latency metrics (JSON)
+//	GET    /metrics           the same registry in Prometheus text format
 //	GET    /v1/healthz        200 ok, 503 while draining
 type Server struct {
 	manager *Manager
@@ -29,6 +30,7 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
 }
@@ -120,6 +122,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.manager.Metrics())
+}
+
+// handlePrometheus serves the observability registry in Prometheus text
+// exposition format — the scrape-friendly twin of the JSON /v1/metrics;
+// both read the same instruments, so they cannot disagree.
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.manager.Registry().WritePrometheus(w) // mid-body write errors are the client's problem
 }
 
 // healthBody is the wire form of GET /v1/healthz.

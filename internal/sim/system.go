@@ -180,12 +180,14 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 			for i := 0; i < progressChunkEvents; i++ {
 				if !s.queue.Step() {
 					s.collect()
+					eventsTotal.Add(uint64(i))
 					if progress != nil {
 						progress.events.Add(uint64(i))
 					}
 					return &s.run, nil
 				}
 			}
+			eventsTotal.Add(progressChunkEvents)
 			if progress != nil {
 				progress.events.Add(progressChunkEvents)
 			}
@@ -199,6 +201,17 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 		}
 	}
 }
+
+// eventsTotal counts simulated events executed process-wide across every
+// run, at batch granularity — the simulator's contribution to the
+// observability registry (the job server exposes it as a Prometheus
+// counter). Unlike Progress it is unconditional: standalone CLIs and
+// benchmark runs count too.
+var eventsTotal atomic.Uint64
+
+// EventsTotal returns the number of events executed process-wide, at
+// batch granularity.
+func EventsTotal() uint64 { return eventsTotal.Load() }
 
 // Progress is a shared counter of simulated events, advanced by RunContext
 // once per event batch. A watchdog can poll Events to detect a stalled

@@ -62,17 +62,43 @@ func CategoryOf(k coherence.ReqKind) Category {
 // WindowCycles is the traffic-window width used by Figure 10.
 const WindowCycles = 100_000
 
+// MaxTrafficWindows caps how many distinct windows TrafficWindows tracks:
+// 1<<20 windows × 100K cycles covers runs of ~10^11 cycles — far beyond
+// any real workload — in at most 8 MiB. Anything later (a hostile or
+// corrupt trace carrying a near-2^63 cycle) lands in the final overflow
+// window instead of sizing an allocation off attacker-controlled input.
+const MaxTrafficWindows = 1 << 20
+
 // TrafficWindows tracks broadcasts per fixed-width cycle window.
 type TrafficWindows struct {
 	counts []uint64
 	total  uint64
 }
 
-// Record notes one broadcast at cycle t.
+// Record notes one broadcast at cycle t. Storage grows geometrically to
+// the window holding t (one op costs amortised O(1), not O(windows)), and
+// cycles at or beyond MaxTrafficWindows windows share the final overflow
+// bucket, so a single absurd cycle value cannot grow the slice unboundedly.
 func (w *TrafficWindows) Record(t event.Cycle) {
-	idx := int(uint64(t) / WindowCycles)
-	for len(w.counts) <= idx {
-		w.counts = append(w.counts, 0)
+	wi := uint64(t) / WindowCycles
+	if wi >= MaxTrafficWindows {
+		wi = MaxTrafficWindows - 1
+	}
+	idx := int(wi)
+	if idx >= len(w.counts) {
+		n := 2 * len(w.counts)
+		if n < idx+1 {
+			n = idx + 1
+		}
+		if n < 16 {
+			n = 16
+		}
+		if n > MaxTrafficWindows {
+			n = MaxTrafficWindows
+		}
+		grown := make([]uint64, n)
+		copy(grown, w.counts)
+		w.counts = grown
 	}
 	w.counts[idx]++
 	w.total++
@@ -262,14 +288,31 @@ func Summarize(xs []float64) Sample {
 
 // Quantile returns the q-quantile (q in [0, 1]) of xs using linear
 // interpolation between order statistics (the R-7 / numpy default). It
-// copies xs, so the input may be shared. An empty input yields 0. The job
-// server uses this for its p50/p95/p99 latency metrics.
+// copies xs, so the input may be shared. An empty input yields 0.
 func Quantile(xs []float64, q float64) float64 {
+	return Quantiles(xs, q)[0]
+}
+
+// Quantiles returns the quantile for each q in qs, copying and sorting xs
+// exactly once — the job server asks for p50/p95/p99 of its latency
+// window on every metrics scrape, and three full sorts per scrape is
+// wasted work. An empty input yields zeros.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
 	if len(xs) == 0 {
-		return 0
+		return out
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// quantileSorted is the R-7 interpolation over an already-sorted,
+// non-empty slice.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cgct/internal/coherence"
+	"cgct/internal/event"
 )
 
 func TestCategoryOf(t *testing.T) {
@@ -152,5 +153,70 @@ func TestQuantile(t *testing.T) {
 	big := []float64{9, 2, 5, 7, 1, 8, 3, 6, 4, 10}
 	if p50, p95, p99 := Quantile(big, .5), Quantile(big, .95), Quantile(big, .99); p50 > p95 || p95 > p99 {
 		t.Errorf("not monotone: %v %v %v", p50, p95, p99)
+	}
+}
+
+func TestTrafficWindowsHugeCycle(t *testing.T) {
+	// Regression: one op at an absurd cycle (a hostile or corrupt trace)
+	// used to append one element per window up to the cycle — an unbounded
+	// O(idx) allocation. It must now land in the capped overflow bucket.
+	var w TrafficWindows
+	w.Record(event.Cycle(1) << 62)
+	if got := len(w.counts); got > MaxTrafficWindows {
+		t.Fatalf("counts grew to %d windows, cap is %d", got, MaxTrafficWindows)
+	}
+	if w.Total() != 1 || w.Peak() != 1 {
+		t.Fatalf("total = %d peak = %d, want 1/1", w.Total(), w.Peak())
+	}
+	// A second huge cycle shares the overflow bucket.
+	w.Record(event.Cycle(uint64(MaxTrafficWindows) * WindowCycles))
+	if w.Peak() != 2 {
+		t.Fatalf("overflow bucket not shared: peak = %d, want 2", w.Peak())
+	}
+	// Normal recording still works alongside the overflow bucket.
+	w.Record(0)
+	w.Record(WindowCycles + 1)
+	if w.Total() != 4 || w.counts[0] != 1 || w.counts[1] != 1 {
+		t.Fatalf("normal windows broken: total=%d counts[0]=%d counts[1]=%d",
+			w.Total(), w.counts[0], w.counts[1])
+	}
+}
+
+func TestTrafficWindowsGeometricGrowth(t *testing.T) {
+	var w TrafficWindows
+	for i := 0; i < 100; i++ {
+		w.Record(event.Cycle(i * WindowCycles))
+	}
+	// Growth is geometric: capacity may overshoot the highest window, but
+	// never past the cap, and every recorded window holds its count.
+	if len(w.counts) < 100 || len(w.counts) > MaxTrafficWindows {
+		t.Fatalf("len(counts) = %d", len(w.counts))
+	}
+	for i := 0; i < 100; i++ {
+		if w.counts[i] != 1 {
+			t.Fatalf("window %d = %d, want 1", i, w.counts[i])
+		}
+	}
+	if w.AvgPer100K(100*WindowCycles) != 1 {
+		t.Fatalf("AvgPer100K = %v, want 1", w.AvgPer100K(100*WindowCycles))
+	}
+}
+
+func TestQuantilesSingleSort(t *testing.T) {
+	xs := []float64{9, 2, 5, 7, 1, 8, 3, 6, 4, 10}
+	got := Quantiles(xs, 0.50, 0.95, 0.99)
+	want := []float64{Quantile(xs, 0.50), Quantile(xs, 0.95), Quantile(xs, 0.99)}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if xs[0] != 9 {
+		t.Error("Quantiles mutated its input")
+	}
+	for i, v := range Quantiles(nil, 0.5, 0.99) {
+		if v != 0 {
+			t.Errorf("empty input: Quantiles[%d] = %v, want 0", i, v)
+		}
 	}
 }

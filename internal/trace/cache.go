@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"cgct/internal/metrics"
 	"cgct/internal/runcache"
 	"cgct/internal/workload"
 )
@@ -93,4 +94,15 @@ type Stats struct {
 // SharedStats snapshots the shared cache.
 func SharedStats() Stats {
 	return Stats{Stats: shared.Stats(), Compilations: compilations.Load()}
+}
+
+// RegisterMetrics registers the process-wide compiled-trace cache into
+// reg: the underlying runcache counters/gauges under cgct_trace_cache_*,
+// plus the number of trace compilations actually performed. Values are
+// read at scrape time, so multiple registries (one per server Manager, as
+// tests create) can all observe the one shared cache.
+func RegisterMetrics(reg *metrics.Registry) {
+	shared.RegisterMetrics(reg, "cgct_trace_cache")
+	reg.CounterFunc("cgct_trace_compilations_total", "workload trace compilations performed process-wide",
+		func() float64 { return float64(compilations.Load()) })
 }

@@ -1,0 +1,51 @@
+package cgct
+
+import (
+	"context"
+	"time"
+)
+
+// Phase names emitted by RunContext, in execution order. The serving layer
+// prepends its own "queued"/"admitted" phases and appends "finalize", so a
+// job's full span list tiles its submit→finish latency exactly.
+const (
+	PhaseTraceCompile = "trace-compile" // workload build / compiled-trace cache
+	PhaseSimulate     = "simulate"      // system construction + event loop
+	PhaseAggregate    = "aggregate"     // stats.Run → Result summarisation
+)
+
+// Span is one named, contiguous slice of a run's wall-clock time.
+// RunContext emits spans back-to-back (each phase starts where the
+// previous one ended), so their durations sum to the run's total.
+type Span struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+type spanRecorderKey struct{}
+
+// WithSpanRecorder returns a context that makes RunContext report each
+// phase of the run (trace-compile, simulate, aggregate) to rec as it
+// completes. rec is called synchronously from the running goroutine and
+// must be cheap; the job server uses this to attach phase breakdowns to
+// job records and export chrome://tracing timelines.
+func WithSpanRecorder(ctx context.Context, rec func(Span)) context.Context {
+	return context.WithValue(ctx, spanRecorderKey{}, rec)
+}
+
+// spanRecorderFrom returns the recorder carried by ctx, or nil.
+func spanRecorderFrom(ctx context.Context) func(Span) {
+	rec, _ := ctx.Value(spanRecorderKey{}).(func(Span))
+	return rec
+}
+
+// recordSpan reports one phase to ctx's recorder, if any.
+func recordSpan(rec func(Span), name string, start, end time.Time) {
+	if rec != nil {
+		rec(Span{Name: name, Start: start, End: end})
+	}
+}
