@@ -280,17 +280,19 @@ func printAblation(p experiments.Params) {
 }
 
 func printFabric(p experiments.Params) {
-	fmt.Println("== Fabric comparison: snooping baseline vs CGCT vs full-map directory ==")
+	fmt.Println("== Fabric comparison: snooping baseline vs CGCT vs directory (±CGCT) ==")
 	var out [][]string
 	for _, r := range experiments.Fabric(p, []int{4, 16}) {
 		out = append(out, []string{
 			fmt.Sprintf("%d", r.Processors), r.Benchmark,
-			fmt.Sprintf("%.1f", r.CGCT), fmt.Sprintf("%.1f", r.Scout), fmt.Sprintf("%.1f", r.Directory),
+			fmt.Sprintf("%.1f", r.CGCT), fmt.Sprintf("%.1f", r.Scout),
+			fmt.Sprintf("%.1f", r.Directory), fmt.Sprintf("%.1f", r.DirCGCT),
 			fmt.Sprint(r.CGCTC2C), fmt.Sprint(r.DirThreeHops),
-			fmt.Sprint(r.BaseBroadcasts), fmt.Sprint(r.CGCTBroadcasts), fmt.Sprint(r.DirMessages),
+			fmt.Sprint(r.BaseBroadcasts), fmt.Sprint(r.CGCTBroadcasts),
+			fmt.Sprint(r.DirMessages), fmt.Sprint(r.DirCGCTMessages), fmt.Sprint(r.DirFastPaths),
 		})
 	}
-	emit("fabric", []string{"procs", "benchmark", "cgct red%", "scout red%", "dir red%", "cgct c2c", "dir 3-hop", "base bcast", "cgct bcast", "dir msgs"}, out)
+	emit("fabric", []string{"procs", "benchmark", "cgct red%", "scout red%", "dir red%", "dir+cgct red%", "cgct c2c", "dir 3-hop", "base bcast", "cgct bcast", "dir msgs", "dir+cgct msgs", "fast paths"}, out)
 	fmt.Println("(the paper's intro: CGCT gets directory-like latency for non-shared data")
 	fmt.Println(" while keeping two-hop cache-to-cache transfers and the snooping substrate)")
 	fmt.Println()

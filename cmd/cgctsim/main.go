@@ -31,6 +31,10 @@ func main() {
 		pfilter = flag.Bool("pffilter", false, "filter prefetches by region state (§6)")
 		dma     = flag.Uint64("dma", 0, "DMA write interval in cycles (0 = no I/O traffic)")
 		regpf   = flag.Bool("regionpf", false, "prefetch the next region's global state (§6)")
+		fabric  = flag.String("fabric", "snoop", "coherence fabric: snoop or directory")
+		dscheme = flag.String("dirscheme", "full-map", "directory sharer tracking: full-map or limited")
+		dptrs   = flag.Int("dirpointers", 0, "limited-directory pointers per entry (1..8)")
+		dents   = flag.Uint64("direntries", 0, "sparse-directory entries per home (0 = unbounded)")
 		trace   = flag.String("trace", "", "replay a trace file saved by cgcttrace -save instead of a benchmark")
 		ctrace  = flag.String("ctrace", "", "replay a compiled-trace file written by cgcttrace -compile instead of a benchmark")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -63,6 +67,10 @@ func main() {
 		PrefetchRegionFilter: *pfilter,
 		RegionPrefetch:       *regpf,
 		DMAIntervalCycles:    *dma,
+		Fabric:               *fabric,
+		DirScheme:            *dscheme,
+		DirPointers:          *dptrs,
+		DirEntriesPerHome:    *dents,
 	}
 	var res *cgct.Result
 	if *ctrace != "" {
@@ -98,6 +106,17 @@ func main() {
 	}
 	if res.RegionProbes > 0 {
 		fmt.Printf("  region-state probes: %d\n", res.RegionProbes)
+	}
+	if res.Directory {
+		fmt.Printf("  directory messages:  %d (three-hop %d, invalidations %d, spurious %d)\n",
+			res.DirMessages, res.ThreeHops, res.DirInvalidations, res.DirExtraInvals)
+		fmt.Printf("  home-pipeline wait:  %d cycles queued\n", res.DirQueuedCycles)
+		fmt.Printf("  directory entries:   %d allocated, %d peak, %d evicted, %d ptr overflows\n",
+			res.DirEntriesAllocated, res.DirPeakEntries, res.DirEntriesEvicted, res.DirPtrOverflows)
+		if res.CGCT {
+			fmt.Printf("  home-pipeline skips: %d fast paths, %d region notifies\n",
+				res.DirFastPaths, res.DirRegionNotifies)
+		}
 	}
 	if res.CGCT {
 		fmt.Printf("  RCA hit ratio:       %.3f\n", res.RCAHitRatio)

@@ -76,9 +76,13 @@ func main() {
 			config.Default().WithCGCT(1024),
 			config.Default().WithRegionScout(512),
 		}
-		dir := config.Default()
-		dir.DirectoryMode = true
-		cfgs = append(cfgs, dir)
+		cfgs = append(cfgs,
+			config.Default().WithDirectory(config.DirectoryParams{}),
+			config.Default().WithDirectory(config.DirectoryParams{
+				Scheme: config.DirSchemeLimited, Pointers: 2, MaxEntriesPerHome: 1024,
+			}),
+			config.Default().WithCGCT(512).WithDirectory(config.DirectoryParams{}),
+		)
 		scaled := config.Default().WithCGCT(512)
 		scaled.RCA.ThreeState = true
 		cfgs = append(cfgs, scaled)

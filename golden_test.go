@@ -44,6 +44,9 @@ func goldenCases() []goldenCase {
 		{"tpcw-cgct", "tpc-w", Options{OpsPerProc: ops, Seed: seed, CGCT: true}},
 		{"tpcw-cgct-perturb", "tpc-w", Options{OpsPerProc: ops, Seed: seed, CGCT: true, PerturbCycles: 40}},
 		{"ocean-directory", "ocean", Options{OpsPerProc: ops, Seed: seed, Directory: true}},
+		{"ocean-dir-cgct", "ocean", Options{OpsPerProc: ops, Seed: seed, CGCT: true, Fabric: "directory"}},
+		{"tpcw-dir-limited", "tpc-w", Options{OpsPerProc: ops, Seed: seed, Directory: true,
+			DirScheme: "limited", DirPointers: 2, DirEntriesPerHome: 2048}},
 		{"tpcw-scout-dma", "tpc-w", Options{OpsPerProc: ops, Seed: seed, RegionScout: true, DMAIntervalCycles: 3000}},
 	}
 }

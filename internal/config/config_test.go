@@ -118,6 +118,14 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		func(c *Config) { c.Proc.CommitWidth = 0 },
 		func(c *Config) { c.Proc.DemandOverlap = 0 },
 		func(c *Config) { c.Net.MemCtrlBanks = 0 },
+		func(c *Config) { c.Fabric = "hypercube" },
+		func(c *Config) { c.Fabric = FabricDirectory; c.Directory.Scheme = "coarse" },
+		func(c *Config) { c.Fabric = FabricDirectory; c.Directory.Scheme = DirSchemeLimited },            // needs pointers
+		func(c *Config) { *c = c.WithDirectory(DirectoryParams{Scheme: DirSchemeLimited, Pointers: 9}) }, // too many
+		func(c *Config) { *c = c.WithDirectory(DirectoryParams{MaxEntriesPerHome: 4}) },                  // below floor
+		func(c *Config) { *c = c.WithDirectory(DirectoryParams{MaxEntriesPerHome: 1 << 30}) },            // absurd bound
+		func(c *Config) { *c = c.WithDirectory(DirectoryParams{}); c.Proc.RegionPrefetch = true },
+		func(c *Config) { *c = c.WithRegionScout(512).WithDirectory(DirectoryParams{}) },
 	}
 	for i, mutate := range cases {
 		c := Default()
@@ -125,6 +133,34 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+	}
+}
+
+// TestFabricDefaults pins the fabric normalization: an unset Fabric means
+// snooping, and the directory fabric composes with CGCT but not RegionScout.
+func TestFabricDefaults(t *testing.T) {
+	c := Default()
+	if c.FabricOrDefault() != FabricSnoop || c.DirectoryEnabled() {
+		t.Errorf("default fabric = %q", c.Fabric)
+	}
+	c.Fabric = ""
+	if err := c.Validate(); err != nil {
+		t.Errorf("empty fabric must validate as snoop: %v", err)
+	}
+
+	d := Default().WithDirectory(DirectoryParams{})
+	if !d.DirectoryEnabled() || d.Directory.Limited() {
+		t.Errorf("WithDirectory = %+v", d.Directory)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("full-map directory invalid: %v", err)
+	}
+	dcg := Default().WithCGCT(512).WithDirectory(DirectoryParams{Scheme: DirSchemeLimited, Pointers: 2, MaxEntriesPerHome: 1024})
+	if err := dcg.Validate(); err != nil {
+		t.Errorf("CGCT on the directory fabric must be allowed: %v", err)
+	}
+	if !dcg.Directory.Limited() {
+		t.Error("limited scheme not recognised")
 	}
 }
 

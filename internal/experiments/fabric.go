@@ -10,14 +10,19 @@ import "cgct"
 type FabricRow struct {
 	Benchmark  string
 	Processors int
-	// Run-time reduction over the snooping baseline, %.
-	CGCT, Scout, Directory float64
+	// Run-time reduction over the snooping baseline, %. DirCGCT is the
+	// directory fabric with an RCA on top — the same region protocol
+	// routing requests around the home pipeline instead of around the bus.
+	CGCT, Scout, Directory, DirCGCT float64
 	// Cache-to-cache transfers: two-hop under snooping/CGCT, three-hop
 	// under the directory.
 	CGCTC2C, DirThreeHops uint64
 	// Address-fabric load: broadcasts (snooping) vs point-to-point
-	// messages (directory).
-	BaseBroadcasts, CGCTBroadcasts, DirMessages uint64
+	// messages (directory, with and without CGCT).
+	BaseBroadcasts, CGCTBroadcasts, DirMessages, DirCGCTMessages uint64
+	// Home transactions CGCT's region protocol kept out of the directory
+	// pipeline entirely.
+	DirFastPaths uint64
 }
 
 // Fabric runs the three-way comparison at the given processor counts
@@ -48,32 +53,42 @@ func Fabric(p Params, processorCounts []int) []FabricRow {
 	var rows []FabricRow
 	for _, procs := range processorCounts {
 		for _, b := range p.sortedBenchmarks() {
-			var cg, sc, dir []float64
-			var cgC2C, threeHop, baseB, cgB, dirMsg uint64
+			var cg, sc, dir, dirCG []float64
+			var cgC2C, threeHop, baseB, cgB, dirMsg, dirCGMsg, fastPaths uint64
 			for _, s := range p.Seeds {
 				base := run(b, procs, s, nil)
 				c := run(b, procs, s, func(o *cgct.Options) { o.CGCT = true; o.RegionBytes = 512 })
 				rs := run(b, procs, s, func(o *cgct.Options) { o.RegionScout = true; o.RegionBytes = 512 })
 				d := run(b, procs, s, func(o *cgct.Options) { o.Directory = true })
+				dc := run(b, procs, s, func(o *cgct.Options) {
+					o.Directory = true
+					o.CGCT = true
+					o.RegionBytes = 512
+				})
 				red := func(r *cgct.Result) float64 {
 					return 100 * (float64(base.Cycles) - float64(r.Cycles)) / float64(base.Cycles)
 				}
 				cg = append(cg, red(c))
 				sc = append(sc, red(rs))
 				dir = append(dir, red(d))
+				dirCG = append(dirCG, red(dc))
 				cgC2C += c.CacheToCache
 				threeHop += d.ThreeHops
 				baseB += base.Broadcasts
 				cgB += c.Broadcasts
 				dirMsg += d.DirMessages
+				dirCGMsg += dc.DirMessages
+				fastPaths += dc.DirFastPaths
 			}
 			n := uint64(len(p.Seeds))
 			rows = append(rows, FabricRow{
 				Benchmark:  b,
 				Processors: procs,
-				CGCT:       mean(cg), Scout: mean(sc), Directory: mean(dir),
+				CGCT:       mean(cg), Scout: mean(sc), Directory: mean(dir), DirCGCT: mean(dirCG),
 				CGCTC2C: cgC2C / n, DirThreeHops: threeHop / n,
-				BaseBroadcasts: baseB / n, CGCTBroadcasts: cgB / n, DirMessages: dirMsg / n,
+				BaseBroadcasts: baseB / n, CGCTBroadcasts: cgB / n,
+				DirMessages: dirMsg / n, DirCGCTMessages: dirCGMsg / n,
+				DirFastPaths: fastPaths / n,
 			})
 		}
 	}

@@ -48,7 +48,14 @@ func TestChaosServerSurvivesInjectedFaults(t *testing.T) {
 		var round []string
 		for i := 0; i < batch; i++ {
 			seed++
-			st, err := c.Submit(ctx, tinySim(seed))
+			req := tinySim(seed)
+			// Every third job runs the directory fabric so fault containment
+			// covers both coherence backends (including the fabric's
+			// close-on-every-exit-path guarantee under injected faults).
+			if seed%3 == 0 {
+				req.Options.Directory = true
+			}
+			st, err := c.Submit(ctx, req)
 			if err != nil {
 				t.Fatalf("submit %d (with retries): %v", seed, err)
 			}
@@ -144,6 +151,10 @@ func checkGoldenThroughServer(t *testing.T, c *client.Client) {
 			Type: server.TypeSim, Benchmark: "ocean",
 			Options: cgct.Options{OpsPerProc: 60_000, Seed: 7, CGCT: true},
 		}},
+		{"ocean-dir-cgct", server.JobRequest{
+			Type: server.TypeSim, Benchmark: "ocean",
+			Options: cgct.Options{OpsPerProc: 60_000, Seed: 7, CGCT: true, Fabric: "directory"},
+		}},
 	}
 	ctx := context.Background()
 	for _, tc := range cases {
@@ -172,6 +183,8 @@ func checkGoldenThroughServer(t *testing.T, c *client.Client) {
 			{"DemandMisses", res.DemandMisses, fix["DemandMisses"]},
 			{"Requests", res.Requests, sumPrefix(fix, "Requests")},
 			{"Broadcasts", res.Broadcasts, sumPrefix(fix, "Broadcasts")},
+			{"DirMessages", res.DirMessages, fix["DirMessages"]},
+			{"DirFastPaths", res.DirFastPaths, fix["DirFastPaths"]},
 		}
 		for _, ck := range checks {
 			if ck.got != ck.want {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cgct"
+	"cgct/internal/directory"
 	"cgct/internal/experiments"
 	"cgct/internal/faultinject"
 	"cgct/internal/metrics"
@@ -85,6 +86,10 @@ const (
 	maxReqBytesParam = 1 << 20 // RegionBytes, L2SectorBytes
 	maxReqSeeds      = 64
 	maxReqBenchmarks = 64
+	// Directory fabric knobs (mirror config's own ceilings so a hostile
+	// value fails at admission, not at config resolution).
+	maxReqDirPointers = 8
+	maxReqDirEntries  = 1 << 24
 )
 
 // boundRequest rejects oversized requests. Callers run it before resolving
@@ -110,6 +115,12 @@ func (r *JobRequest) boundRequest() error {
 		}
 		if o.L2SectorBytes > maxReqBytesParam {
 			return fmt.Errorf("l2_sector_bytes %d exceeds limit %d", o.L2SectorBytes, maxReqBytesParam)
+		}
+		if o.DirPointers > maxReqDirPointers {
+			return fmt.Errorf("dir_pointers %d exceeds limit %d", o.DirPointers, maxReqDirPointers)
+		}
+		if o.DirEntriesPerHome > maxReqDirEntries {
+			return fmt.Errorf("dir_entries_per_home %d exceeds limit %d", o.DirEntriesPerHome, maxReqDirEntries)
 		}
 	case TypeExperiment:
 		p := r.Params
@@ -442,6 +453,22 @@ func (m *Manager) initMetrics() {
 	trace.RegisterMetrics(r)
 	r.CounterFunc("cgct_sim_events_total", "simulated events executed process-wide, batch granularity",
 		func() float64 { return float64(sim.EventsTotal()) })
+	for _, t := range []struct {
+		kind string
+		read func() uint64
+	}{
+		{"broadcast", func() uint64 { b, _, _, _ := sim.FabricTraffic(); return b }},
+		{"direct", func() uint64 { _, d, _, _ := sim.FabricTraffic(); return d }},
+		{"local", func() uint64 { _, _, l, _ := sim.FabricTraffic(); return l }},
+		{"directory", func() uint64 { _, _, _, m := sim.FabricTraffic(); return m }},
+	} {
+		read := t.read
+		r.CounterFunc("cgct_fabric_messages_total", "coherence-fabric messages by kind, advanced at run completion",
+			func() float64 { return float64(read()) },
+			metrics.Label{Key: "kind", Value: t.kind})
+	}
+	r.GaugeFunc("cgct_directory_entries", "live directory entries process-wide",
+		func() float64 { return float64(directory.LiveEntries()) })
 }
 
 // countState counts retained job records in one lifecycle state.
@@ -886,6 +913,11 @@ type Metrics struct {
 	DeadlinesExceeded uint64 `json:"deadlines_exceeded"`
 	WatchdogKills     uint64 `json:"watchdog_kills"`
 
+	// Coherence-fabric traffic by message kind (process-wide, advanced at
+	// run completion) and live directory entries right now.
+	FabricMessages   map[string]uint64 `json:"fabric_messages"`
+	DirectoryEntries uint64            `json:"directory_entries"`
+
 	Draining bool `json:"draining"`
 }
 
@@ -922,6 +954,9 @@ func (m *Manager) Metrics() Metrics {
 		WatchdogKills:     m.watchdogKills.Value(),
 		Draining:          m.draining,
 	}
+	b, d, l, dm := sim.FabricTraffic()
+	out.FabricMessages = map[string]uint64{"broadcast": b, "direct": d, "local": l, "directory": dm}
+	out.DirectoryEntries = directory.LiveEntries()
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
 	return out
 }

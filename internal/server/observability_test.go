@@ -70,25 +70,30 @@ func TestPrometheusAgreesWithJSON(t *testing.T) {
 	prom := scrape(t, c)
 
 	want := map[string]float64{
-		"cgct_jobs_submitted_total":                  float64(jsonM.JobsSubmitted),
-		"cgct_jobs_completed_total":                  float64(jsonM.JobsCompleted),
-		"cgct_panics_recovered_total":                float64(jsonM.PanicsRecovered),
-		"cgct_deadlines_exceeded_total":              float64(jsonM.DeadlinesExceeded),
-		"cgct_watchdog_kills_total":                  float64(jsonM.WatchdogKills),
-		"cgct_queue_depth":                           float64(jsonM.QueueDepth),
-		"cgct_queue_capacity":                        float64(jsonM.QueueCapacity),
-		"cgct_workers":                               float64(jsonM.Workers),
-		"cgct_busy_workers":                          float64(jsonM.BusyWorkers),
-		"cgct_result_cache_hits_total":               float64(jsonM.Cache.Hits),
-		"cgct_result_cache_misses_total":             float64(jsonM.Cache.Misses),
-		"cgct_result_cache_entries":                  float64(jsonM.Cache.Entries),
-		"cgct_trace_cache_hits_total":                float64(jsonM.TraceCache.Hits),
-		"cgct_trace_compilations_total":              float64(jsonM.TraceCache.Compilations),
-		`cgct_jobs{state="done"}`:                    float64(jsonM.JobsByState[server.StateDone]),
-		`cgct_jobs{state="failed"}`:                  float64(jsonM.JobsByState[server.StateFailed]),
-		"cgct_draining":                              0,
-		"cgct_job_latency_seconds_count":             2, // only done jobs observe latency
-		`cgct_job_latency_seconds_bucket{le="+Inf"}`: 2,
+		"cgct_jobs_submitted_total":                    float64(jsonM.JobsSubmitted),
+		"cgct_jobs_completed_total":                    float64(jsonM.JobsCompleted),
+		"cgct_panics_recovered_total":                  float64(jsonM.PanicsRecovered),
+		"cgct_deadlines_exceeded_total":                float64(jsonM.DeadlinesExceeded),
+		"cgct_watchdog_kills_total":                    float64(jsonM.WatchdogKills),
+		"cgct_queue_depth":                             float64(jsonM.QueueDepth),
+		"cgct_queue_capacity":                          float64(jsonM.QueueCapacity),
+		"cgct_workers":                                 float64(jsonM.Workers),
+		"cgct_busy_workers":                            float64(jsonM.BusyWorkers),
+		"cgct_result_cache_hits_total":                 float64(jsonM.Cache.Hits),
+		"cgct_result_cache_misses_total":               float64(jsonM.Cache.Misses),
+		"cgct_result_cache_entries":                    float64(jsonM.Cache.Entries),
+		"cgct_trace_cache_hits_total":                  float64(jsonM.TraceCache.Hits),
+		"cgct_trace_compilations_total":                float64(jsonM.TraceCache.Compilations),
+		`cgct_jobs{state="done"}`:                      float64(jsonM.JobsByState[server.StateDone]),
+		`cgct_jobs{state="failed"}`:                    float64(jsonM.JobsByState[server.StateFailed]),
+		"cgct_draining":                                0,
+		"cgct_job_latency_seconds_count":               2, // only done jobs observe latency
+		`cgct_job_latency_seconds_bucket{le="+Inf"}`:   2,
+		`cgct_fabric_messages_total{kind="broadcast"}`: float64(jsonM.FabricMessages["broadcast"]),
+		`cgct_fabric_messages_total{kind="direct"}`:    float64(jsonM.FabricMessages["direct"]),
+		`cgct_fabric_messages_total{kind="local"}`:     float64(jsonM.FabricMessages["local"]),
+		`cgct_fabric_messages_total{kind="directory"}`: float64(jsonM.FabricMessages["directory"]),
+		"cgct_directory_entries":                       float64(jsonM.DirectoryEntries),
 	}
 	for series, v := range want {
 		got, ok := prom[series]

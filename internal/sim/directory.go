@@ -5,130 +5,279 @@ import (
 
 	"cgct/internal/addr"
 	"cgct/internal/coherence"
+	"cgct/internal/core"
+	"cgct/internal/directory"
 	"cgct/internal/event"
+	"cgct/internal/oracle"
+	"cgct/internal/stats"
 )
 
-// Directory-based coherence: the comparison system of the paper's
-// introduction. Instead of broadcasting, every request goes to the line's
-// home memory controller, which keeps a full-map directory entry per
-// cached line. Non-shared data enjoys the same low-latency direct path
-// CGCT builds — that is the paper's point — but cache-to-cache transfers
-// take three hops (requester → home → owner → requester), and every
-// invalidation is an explicit message exchange.
+// directoryFabric is the home-node directory backend: instead of
+// broadcasting, every request goes to the line's home memory controller,
+// which keeps a sharer-tracking entry per cached line (internal/directory:
+// full-map or limited-pointer, optionally sparse). Cache-to-cache
+// transfers take three hops (requester → home → owner → requester), every
+// invalidation is an explicit message exchange, and the home pipeline
+// serialises transactions NACK-free.
 //
 // The directory runs MESI semantics (no Owned state: on a remote dirty
 // hit the owner writes back to home while forwarding, the textbook
 // protocol), which keeps the directory state machine exact and simple
 // without changing what the comparison measures.
-
-// dirEntry is one line's full-map directory state at its home controller.
-type dirEntry struct {
-	owner   int    // node holding E/M, or -1
-	sharers uint64 // bitmask of nodes holding S
+//
+// CGCT composes with the directory exactly as it does with the bus: the
+// RCA routes requests. A region held exclusively never spans home
+// controllers (regions are at most a page), so the home's per-line
+// records for an exclusively-held region cannot be observed by anyone
+// until an external request for the region arrives — which itself
+// resolves at the same home. Record updates on the local and direct fast
+// paths are therefore modelled as synchronous and free: the direct
+// request already travels to the home controller (it is the memory
+// controller), and local completions defer their record maintenance
+// behind the region grant. What the fast paths save is the home-pipeline
+// occupancy and directory latency, not correctness.
+type directoryFabric struct {
+	s    *System
+	dirs []*directory.Directory
 }
 
-func (e dirEntry) uncached() bool { return e.owner < 0 && e.sharers == 0 }
-
-// directory is the per-controller directory.
-type directory struct {
-	home    int
-	entries map[addr.LineAddr]dirEntry
-	// busyUntil serialises transactions at the home: the directory pipeline
-	// handles one transaction per DirectoryLatency, and bursts queue —
-	// the home-node bottleneck of directory protocols.
-	busyUntil event.Cycle
-
-	queuedTotal uint64
-}
-
-func newDirectory(home int) *directory {
-	return &directory{home: home, entries: make(map[addr.LineAddr]dirEntry)}
-}
-
-// admit grants the transaction a directory slot at or after t.
-func (d *directory) admit(t event.Cycle, occupancy uint64) event.Cycle {
-	start := t
-	if d.busyUntil > start {
-		start = d.busyUntil
+func newDirectoryFabric(s *System) *directoryFabric {
+	f := &directoryFabric{s: s}
+	for i := 0; i < s.topo.MemControllers(); i++ {
+		f.dirs = append(f.dirs, directory.New(i, s.cfg.Directory))
 	}
-	d.queuedTotal += uint64(start - t)
-	d.busyUntil = start + event.Cycle(occupancy)
-	return start
+	return f
 }
 
-func (d *directory) get(l addr.LineAddr) dirEntry {
-	if e, ok := d.entries[l]; ok {
-		return e
+// addSharer records id as a sharer of e, tracking pointer overflows.
+func (f *directoryFabric) addSharer(d *directory.Directory, e *directory.Entry, id int) {
+	if e.AddSharer(id, d.Pointers()) {
+		d.Stats.PtrOverflows++
 	}
-	return dirEntry{owner: -1}
 }
 
-func (d *directory) set(l addr.LineAddr, e dirEntry) {
-	if e.uncached() {
-		delete(d.entries, l)
-		return
-	}
-	d.entries[l] = e
-}
-
-// issueRequestDirectory is the directory-mode counterpart of issueRequest:
-// the request travels to the home controller, the directory resolves it
-// atomically, and the reply (or forwarded data) comes back. No address
-// broadcast exists in this mode.
-func (n *node) issueRequestDirectory(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
-	s := n.sys
+// issue implements coherenceFabric. Every request is a point-to-point
+// message; under CGCT the region protocol picks between the full home
+// transaction and the fast paths.
+func (f *directoryFabric) issue(n *node, kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
+	s := f.s
 	t = s.perturb(t)
 	s.run.Requests[kind]++
-	s.run.Directs[kind]++ // every request is a point-to-point message
+
+	region := s.geom.RegionOfLine(line)
+	route := core.RouteBroadcast
+	regionExclusive := false
+	if n.rca != nil {
+		st := n.rca.Lookup(region)
+		s.run.RegionStateAtLookup[st]++
+		route = n.protocol.Route(st, kind)
+		regionExclusive = st.Exclusive()
+	}
 
 	home := s.topo.HomeController(addr.Addr(line))
-	reqLat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, home))
-	atHome := t + event.Cycle(reqLat)
-	arriveHome := s.dirs[home].admit(atHome, s.cfg.Net.DirectoryLatency) + event.Cycle(s.cfg.Net.DirectoryLatency)
-	s.run.DirMessages++
+	d := f.dirs[home]
 
 	if kind == coherence.ReqWriteback {
-		// Data travels with the request; the directory clears ownership.
+		s.run.Directs[kind]++
+		s.run.DirMessages++ // data travels with the request
+		if regionExclusive {
+			// Region-exclusive fast path: no other node can have a
+			// transaction in flight for this line, so the record clears
+			// without occupying the home pipeline.
+			s.run.DirFastPaths++
+			f.clearRecord(d, n, line)
+			lat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, home))
+			s.mcs[home].Write(t+event.Cycle(lat), true)
+			return
+		}
+		reqLat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, home))
+		arriveHome := d.Admit(t+event.Cycle(reqLat), s.cfg.Net.DirectoryLatency) + event.Cycle(s.cfg.Net.DirectoryLatency)
 		s.queue.Schedule(arriveHome, n, nodeOpDirWriteback, 0, uint64(line))
 		return
 	}
 
-	n.outstanding++
+	switch route {
+	case core.RouteLocal:
+		s.run.LocalDones[kind]++
+		if s.DebugChecks {
+			s.checkNonBroadcastSafe(n, kind, line, t, "local")
+		}
+		n.applyLocalRoute(kind, line, region)
+		f.recordFastGrant(d, n, kind, line, grantedLineState(kind, false))
+		n.outstanding++
+		s.queue.Schedule(t, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+	case core.RouteDirect:
+		s.run.Directs[kind]++
+		s.run.DirFastPaths++
+		s.run.DirMessages += 2 // request + reply, but no home-pipeline slot
+		n.outstanding++
+		arrive := n.applyDirectRoute(kind, line, region, home, t)
+		f.recordFastGrant(d, n, kind, line, grantedLineState(kind, !regionExclusive))
+		s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+	default: // full home transaction
+		s.run.Directs[kind]++ // still a point-to-point message, never a broadcast
+		s.run.DirMessages++
+		n.outstanding++
+		if _, dup := n.pending[line]; !dup {
+			n.pending[line] = n.newMSHR()
+		}
+		reqLat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, home))
+		arriveHome := d.Admit(t+event.Cycle(reqLat), s.cfg.Net.DirectoryLatency) + event.Cycle(s.cfg.Net.DirectoryLatency)
+		s.queue.Schedule(arriveHome, n, nodeOpResolveDir, packReq(kind, forStore), uint64(line))
+		return
+	}
 	if _, dup := n.pending[line]; !dup {
 		n.pending[line] = n.newMSHR()
 	}
-	s.queue.Schedule(arriveHome, n, nodeOpResolveDir, packReq(kind, forStore), uint64(line))
 }
 
-// dirWritebackArrived lands a directory-mode write-back at the home
-// controller: the directory drops the writer's record and memory absorbs
-// the data.
-func (n *node) dirWritebackArrived(line addr.LineAddr, now event.Cycle) {
-	s := n.sys
-	home := s.topo.HomeController(addr.Addr(line))
-	d := s.dirs[home]
-	e := d.get(line)
-	if e.owner == n.id {
-		e.owner = -1
+// recordFastGrant maintains the home's per-line record for a request that
+// completed on a CGCT fast path (local or direct route) — synchronous and
+// message-free, see the type comment for why that is sound.
+func (f *directoryFabric) recordFastGrant(d *directory.Directory, n *node, kind coherence.ReqKind, line addr.LineAddr, granted coherence.LineState) {
+	switch kind {
+	case coherence.ReqDCBI, coherence.ReqDCBF:
+		f.clearRecord(d, n, line)
+		return
 	}
-	e.sharers &^= 1 << uint(n.id)
-	d.set(line, e)
+	e, victim := d.Acquire(line)
+	if victim != nil {
+		f.evictVictim(d, victim)
+	}
+	if granted == coherence.Shared {
+		// Direct shared grant (instruction fetch in an externally clean
+		// region): remote copies may exist; just add ourselves.
+		f.addSharer(d, e, n.id)
+		return
+	}
+	// Exclusive/Modified grant: region exclusivity means no remote copies.
+	e.Owner = n.id
+	e.ClearSharers()
+}
+
+// clearRecord drops n from the record for line (fast-path write-backs,
+// flushes and invalidates).
+func (f *directoryFabric) clearRecord(d *directory.Directory, n *node, line addr.LineAddr) {
+	e := d.Lookup(line)
+	if e == nil {
+		return
+	}
+	if e.Owner == n.id {
+		e.Owner = -1
+	}
+	e.RemoveSharer(n.id)
+	d.Release(e)
+}
+
+// evictVictim handles a sparse-directory capacity eviction: every node the
+// victim entry implicates is invalidated (dirty data returns to the home),
+// off the critical path of the transaction that displaced it.
+func (f *directoryFabric) evictVictim(d *directory.Directory, v *directory.Entry) {
+	s := f.s
+	line := v.Line()
+	home := d.Home()
+	now := s.queue.Now()
+	for _, o := range s.nodes {
+		if !v.MustInvalidate(o.id) {
+			continue
+		}
+		s.run.DirInvalidations++
+		s.run.DirMessages += 2 // invalidation + ack
+		st := o.l2.Lookup(line)
+		if !st.Valid() {
+			s.run.DirExtraInvals++
+			continue
+		}
+		if st.Dirty() {
+			// The ack carries the dirty data home.
+			s.run.DirMessages++
+			s.mcs[home].Write(now+event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(o.id, home))), true)
+		}
+		o.l2.Invalidate(line)
+	}
+}
+
+// flushWriteback implements coherenceFabric: region-eviction flushes ride
+// the direct path (the node held the region, so its lines' records clear
+// without a home-pipeline slot).
+func (f *directoryFabric) flushWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle) {
+	s := f.s
+	s.run.Requests[coherence.ReqWriteback]++
+	s.run.Directs[coherence.ReqWriteback]++
+	s.run.DirMessages++
+	s.run.DirFastPaths++
+	f.clearRecord(f.dirs[mc], n, line)
+	lat := s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, mc))
+	s.mcs[mc].Write(s.perturb(t)+event.Cycle(lat), true)
+}
+
+// lineEvicted implements coherenceFabric: the replacement hint a node
+// sends its home when it silently drops a clean line — without it the
+// directory would believe the node still holds a copy and waste
+// invalidations on it.
+func (f *directoryFabric) lineEvicted(n *node, line addr.LineAddr) {
+	s := f.s
+	home := s.topo.HomeController(addr.Addr(line))
+	s.run.DirMessages++
+	f.clearRecord(f.dirs[home], n, line)
+}
+
+// handle implements coherenceFabric (the directory-owned event op codes).
+func (f *directoryFabric) handle(n *node, now event.Cycle, op uint8, u32 uint32, u64 uint64) {
+	switch op {
+	case nodeOpResolveDir:
+		kind, forStore := unpackReq(u32)
+		line := addr.LineAddr(u64)
+		f.resolve(n, kind, line, f.s.topo.HomeController(addr.Addr(line)), now, forStore)
+	case nodeOpDirWriteback:
+		f.writebackArrived(n, addr.LineAddr(u64), now)
+	default:
+		panic(fmt.Sprintf("sim: directory fabric cannot handle op %d", op))
+	}
+}
+
+// writebackArrived lands a write-back at the home controller: the
+// directory drops the writer's record and memory absorbs the data.
+func (f *directoryFabric) writebackArrived(n *node, line addr.LineAddr, now event.Cycle) {
+	s := f.s
+	home := s.topo.HomeController(addr.Addr(line))
+	f.clearRecord(f.dirs[home], n, line)
 	s.mcs[home].Write(now, true)
 }
 
-// resolveAtDirectory performs the directory transaction at its home-arrival
-// time: state changes are atomic here; the returned data/ack timing is
+// resolve performs the directory transaction at its home-arrival time:
+// state changes are atomic here; the returned data/ack timing is
 // scheduled afterwards.
-func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, home int, now event.Cycle, forStore bool) {
-	s := n.sys
-	d := s.dirs[home]
-	e := d.get(line)
-	self := uint64(1) << uint(n.id)
+func (f *directoryFabric) resolve(n *node, kind coherence.ReqKind, line addr.LineAddr, home int, now event.Cycle, forStore bool) {
+	s := f.s
+	d := f.dirs[home]
 
 	// An upgrade that lost its line while the request was in flight turns
 	// into a full read-for-ownership, as on the snooping path.
 	if kind == coherence.ReqUpgrade && !n.l2.Lookup(line).Valid() {
 		kind = coherence.ReqReadExcl
+	}
+
+	// Oracle classification (Figure 2's question asked of the directory):
+	// would an omniscient protocol have needed this home transaction's
+	// coherence actions at all? Observed before any state changes.
+	cat := stats.CategoryOf(kind)
+	remoteValid, remoteWritable := s.lineStateAnywhere(n.id, line)
+	if oracle.Unnecessary(kind, remoteValid, remoteWritable) {
+		s.run.OracleUnnecessary[cat]++
+	} else {
+		s.run.OracleNecessary[cat]++
+	}
+
+	// Region snoop response, gathered before invalidations mutate the
+	// caches (the directory learns it from the region notifications' acks).
+	regionClean, regionDirty := false, false
+	if n.rca != nil {
+		regionClean, regionDirty = s.observeRemoteRegion(n.id, s.geom.RegionOfLine(line))
+	}
+	prevOwner := -1
+	if pe := d.Peek(line); pe != nil && pe.Owner != n.id {
+		prevOwner = pe.Owner
 	}
 
 	// transferFrom computes when data sourced at node src reaches the
@@ -142,22 +291,32 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 		ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(n.id, home)))
 		return s.dnet.Deliver(n.id, ready)
 	}
-	// invalidateSharers sends invalidations to every sharer except the
-	// requester and returns when the last acknowledgement is home.
-	invalidateSharers := func() event.Cycle {
+	// invalidateSharers sends invalidations to every node the entry
+	// implicates except the requester and returns when the last
+	// acknowledgement is home. An overflowed limited-pointer entry has
+	// lost precision, so everyone gets one (the extras are counted).
+	invalidateSharers := func(e *directory.Entry) event.Cycle {
 		ackBy := now
+		if e == nil {
+			return ackBy
+		}
 		for _, o := range s.nodes {
-			if o.id == n.id || e.sharers&(1<<uint(o.id)) == 0 {
+			if o.id == n.id || o.id == e.Owner || !e.MustInvalidate(o.id) {
 				continue
 			}
-			o.l2.Invalidate(line)
+			s.run.DirInvalidations++
 			s.run.DirMessages += 2 // invalidation + ack
+			if o.l2.Lookup(line).Valid() {
+				o.l2.Invalidate(line)
+			} else {
+				s.run.DirExtraInvals++
+			}
 			rt := event.Cycle(2 * s.cfg.Net.TransferLatency(s.topo.ProcToMem(o.id, home)))
 			if now+rt > ackBy {
 				ackBy = now + rt
 			}
 		}
-		e.sharers &= self
+		e.ClearSharers()
 		return ackBy
 	}
 
@@ -166,55 +325,63 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 
 	switch kind {
 	case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch:
+		e, victim := d.Acquire(line)
+		if victim != nil {
+			f.evictVictim(d, victim)
+		}
 		switch {
-		case e.owner >= 0 && e.owner != n.id:
+		case e.Owner >= 0 && e.Owner != n.id:
 			// Three-hop transfer: home forwards to the owner, the owner
 			// supplies the data (and writes back to memory, MESI-style).
 			s.run.ThreeHops++
 			s.run.CacheToCache++
 			s.run.DirMessages += 2 // forward + data
-			owner := s.nodes[e.owner]
+			owner := s.nodes[e.Owner]
 			owner.l2.SetState(line, coherence.Shared)
 			owner.l1d.SetState(line, coherence.Shared)
 			s.mcs[home].Write(now, true) // owner's dirty data reaches home
 			fwd := now + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(owner.id, home)))
 			arrive = transferFrom(owner.id, fwd)
-			e.sharers |= 1<<uint(owner.id) | self
-			e.owner = -1
+			f.addSharer(d, e, owner.id)
+			f.addSharer(d, e, n.id)
+			e.Owner = -1
 			granted = coherence.Shared
-		case e.uncached() || e.owner == n.id:
+		case e.Uncached() || e.Owner == n.id:
 			s.run.DirMessages++ // data reply
 			arrive = memData()
 			if kind == coherence.ReqIFetch {
 				granted = coherence.Shared
-				e.sharers |= self
-				e.owner = -1
+				f.addSharer(d, e, n.id)
+				e.Owner = -1
 			} else {
 				granted = coherence.Exclusive
-				e.owner = n.id
-				e.sharers = 0
+				e.Owner = n.id
+				e.ClearSharers()
 			}
-		default: // shared somewhere
+		default: // shared somewhere (or overflowed: conservatively shared)
 			s.run.DirMessages++
 			arrive = memData()
 			granted = coherence.Shared
-			e.sharers |= self
+			f.addSharer(d, e, n.id)
 		}
 	case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade, coherence.ReqDCBZ:
-		ackBy := now
-		if e.owner >= 0 && e.owner != n.id {
+		e, victim := d.Acquire(line)
+		if victim != nil {
+			f.evictVictim(d, victim)
+		}
+		if e.Owner >= 0 && e.Owner != n.id {
 			// Fetch the dirty line from its owner (three hops) and
 			// invalidate it there.
 			s.run.ThreeHops++
 			s.run.CacheToCache++
 			s.run.DirMessages += 2
-			owner := s.nodes[e.owner]
+			owner := s.nodes[e.Owner]
 			owner.l2.Invalidate(line)
 			fwd := now + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(owner.id, home)))
 			arrive = transferFrom(owner.id, fwd)
-			e.owner = -1
+			e.Owner = -1
 		} else {
-			ackBy = invalidateSharers()
+			ackBy := invalidateSharers(e)
 			if kind == coherence.ReqUpgrade || kind == coherence.ReqDCBZ {
 				// Permission-only: complete once the acks are in.
 				arrive = ackBy
@@ -227,19 +394,20 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 			}
 		}
 		granted = coherence.Modified
-		e.owner = n.id
-		e.sharers = 0
+		e.Owner = n.id
+		e.ClearSharers()
 	case coherence.ReqDCBF, coherence.ReqDCBI:
-		if e.owner >= 0 && e.owner != n.id {
-			o := s.nodes[e.owner]
+		e := d.Lookup(line)
+		if e != nil && e.Owner >= 0 && e.Owner != n.id {
+			o := s.nodes[e.Owner]
 			if kind == coherence.ReqDCBF {
 				s.mcs[home].Write(now, true)
 			}
 			o.l2.Invalidate(line)
 			s.run.DirMessages += 2
-			e.owner = -1
+			e.Owner = -1
 		}
-		arrive = invalidateSharers()
+		arrive = invalidateSharers(e)
 		// The requester's own copy goes too.
 		if st := n.l2.Lookup(line); st.Valid() {
 			if st.Dirty() && kind == coherence.ReqDCBF {
@@ -247,14 +415,41 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 			}
 			n.l2.Invalidate(line)
 		}
-		e.owner = -1
-		e.sharers = 0
+		if e != nil {
+			e.Owner = -1
+			d.Release(e)
+		}
 		granted = coherence.Invalid
 	default:
 		panic(fmt.Sprintf("sim: directory cannot resolve %v", kind))
 	}
 
-	d.set(line, e)
+	// Region protocol maintenance (full transactions only — the fast
+	// paths never change remote region state). The home notifies every
+	// remote RCA holder of the region, which downgrades or
+	// self-invalidates exactly as a snooped broadcast would; the requester
+	// waits for those acks before its grant is final. The requester's
+	// region entry must exist before the line installs (RCA inclusion).
+	requesterExclusive := granted == coherence.Exclusive || granted == coherence.Modified
+	if s.cfg.CGCTEnabled {
+		reg := s.geom.RegionOfLine(line)
+		for _, o := range s.nodes {
+			if o.id == n.id {
+				continue
+			}
+			if applyExternalRegion(o, reg, kind, requesterExclusive) {
+				s.run.DirRegionNotifies++
+				s.run.DirMessages += 2 // notify + ack
+				rt := now + event.Cycle(2*s.cfg.Net.TransferLatency(s.topo.ProcToMem(o.id, home)))
+				if rt > arrive {
+					arrive = rt
+				}
+			}
+		}
+		if n.rca != nil {
+			n.applyBroadcastResponse(reg, kind, requesterExclusive, regionClean, regionDirty, prevOwner)
+		}
+	}
 
 	// Install the granted line (state change at the coherence point).
 	if granted.Valid() {
@@ -267,47 +462,108 @@ func (n *node) resolveAtDirectory(kind coherence.ReqKind, line addr.LineAddr, ho
 			s.trackWrite(n.id, line)
 		}
 	}
+
 	if s.DebugChecks {
 		s.checkLineInvariants(line, now)
-		s.checkDirectoryAgrees(line, home, now)
+		f.checkDirectoryAgrees(line, home, now)
+		if s.cfg.CGCTEnabled {
+			s.checkRegionExclusivity(s.geom.RegionOfLine(line), now)
+		}
 	}
 	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 }
 
-// dirEvictNotice is the replacement hint a node sends its home directory
-// when it drops a line: without it, silent clean evictions would leave the
-// directory believing the node still holds a copy. (Dirty evictions travel
-// as write-backs, which carry the same information plus the data.)
-func (s *System) dirEvictNotice(n *node, line addr.LineAddr) {
-	home := s.topo.HomeController(addr.Addr(line))
-	d := s.dirs[home]
-	e := d.get(line)
-	if e.owner == n.id {
-		e.owner = -1
+// dmaWrite implements coherenceFabric: coherent I/O goes through the home
+// like any other writer — one home transaction per buffer, precise
+// invalidations from the directory records instead of a broadcast.
+func (f *directoryFabric) dmaWrite(d *dmaAgent, base addr.Addr, now event.Cycle) {
+	s := f.s
+	s.run.DMAWrites++
+	home := s.topo.HomeController(base)
+	s.run.DirMessages++ // the DMA request (data travels with it)
+	at := f.dirs[home].Admit(now, s.cfg.Net.DirectoryLatency) + event.Cycle(s.cfg.Net.DirectoryLatency)
+
+	lines := int(d.bufBytes / s.cfg.L2.LineBytes)
+	for i := 0; i < lines; i++ {
+		line := s.geom.Line(addr.Addr(uint64(base) + uint64(i)*s.cfg.L2.LineBytes))
+		reg := s.geom.RegionOfLine(line)
+		s.trackExternalWrite(line)
+		lh := s.topo.HomeController(addr.Addr(line))
+		ld := f.dirs[lh]
+		if e := ld.Lookup(line); e != nil {
+			for _, o := range s.nodes {
+				if !e.MustInvalidate(o.id) {
+					continue
+				}
+				s.run.DirInvalidations++
+				s.run.DirMessages += 2
+				if o.l2.Lookup(line).Valid() {
+					o.l2.Invalidate(line) // old data is overwritten; no writeback
+				} else {
+					s.run.DirExtraInvals++
+				}
+			}
+			e.Owner = -1
+			e.ClearSharers()
+			ld.Release(e)
+		}
+		// The device overwrote lines of the region: remote RCA holders
+		// observe an external modifiable request.
+		for _, o := range s.nodes {
+			if applyExternalRegion(o, reg, coherence.ReqReadExcl, true) {
+				s.run.DirRegionNotifies++
+				s.run.DirMessages += 2
+			}
+		}
 	}
-	e.sharers &^= 1 << uint(n.id)
-	d.set(line, e)
-	s.run.DirMessages++
+	s.mcs[home].Write(at, true)
+}
+
+// collect implements coherenceFabric: fold the per-home directory
+// statistics into the run record.
+func (f *directoryFabric) collect(run *stats.Run) {
+	for _, d := range f.dirs {
+		run.DirEntriesAllocated += d.Stats.Allocs
+		run.DirEntriesEvicted += d.Stats.Evictions
+		run.DirPtrOverflows += d.Stats.PtrOverflows
+		run.DirQueuedCycles += d.Stats.QueuedCycles
+		run.DirPeakEntries += d.Stats.Peak
+	}
+}
+
+// close implements coherenceFabric: releases the process-wide live-entry
+// gauge contribution.
+func (f *directoryFabric) close() {
+	for _, d := range f.dirs {
+		d.Close()
+	}
+	f.dirs = nil
 }
 
 // checkDirectoryAgrees asserts (tests only) that the directory entry for a
-// line matches the true cache states.
-func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int, cycle event.Cycle) {
-	e := s.dirs[home].get(line)
+// line matches the true cache states. An overflowed limited-pointer entry
+// conservatively implicates everyone, so its sharer record is not checked.
+func (f *directoryFabric) checkDirectoryAgrees(line addr.LineAddr, home int, cycle event.Cycle) {
+	s := f.s
+	e := f.dirs[home].Peek(line)
+	owner := -1
+	if e != nil {
+		owner = e.Owner
+	}
 	for _, o := range s.nodes {
 		st := o.l2.Lookup(line)
-		hasBit := e.sharers&(1<<uint(o.id)) != 0
+		hasBit := e != nil && (e.Overflowed || e.Has(o.id))
 		switch {
 		case st == coherence.Exclusive || st == coherence.Modified:
-			if e.owner != o.id {
+			if owner != o.id {
 				coherence.Violate(coherence.InvariantError{
 					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
 					States: st.String(),
-					Detail: fmt.Sprintf("directory says owner %d, but p%d holds the line", e.owner, o.id),
+					Detail: fmt.Sprintf("directory says owner %d, but p%d holds the line", owner, o.id),
 				})
 			}
 		case st == coherence.Shared:
-			if !hasBit && e.owner != o.id {
+			if !hasBit && owner != o.id {
 				coherence.Violate(coherence.InvariantError{
 					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
 					States: st.String(),
@@ -315,7 +571,7 @@ func (s *System) checkDirectoryAgrees(line addr.LineAddr, home int, cycle event.
 				})
 			}
 		case !st.Valid():
-			if e.owner == o.id {
+			if owner == o.id {
 				coherence.Violate(coherence.InvariantError{
 					Check: "directory-agreement", Cycle: uint64(cycle), Line: uint64(line),
 					States: st.String(),

@@ -2,19 +2,18 @@ package sim
 
 import (
 	"cgct/internal/addr"
-	"cgct/internal/coherence"
-	"cgct/internal/core"
 	"cgct/internal/event"
 )
 
 // dmaAgent models coherent I/O: disk and network devices writing
 // DMA-buffer-sized chunks (Table 3: 512 bytes) into memory. A DMA write
 // must be observed by every processor — cached copies of the written lines
-// are stale afterwards — so it is always broadcast; the device has no
-// Region Coherence Array, which is why the paper's direct path never
-// applies to it. Each write also downgrades or self-invalidates the
-// processors' region entries covering the buffer, eroding region
-// exclusivity over I/O-heavy data.
+// are stale afterwards — so the fabric propagates it system-wide (a
+// broadcast on the bus, a home transaction with precise invalidations on
+// the directory); the device has no Region Coherence Array, which is why
+// the paper's direct path never applies to it. Each write also downgrades
+// or self-invalidates the processors' region entries covering the buffer,
+// eroding region exclusivity over I/O-heavy data.
 //
 // The agent walks the workload's DMA target segments round-robin,
 // deterministically, issuing one buffer write per interval.
@@ -60,10 +59,9 @@ func (d *dmaAgent) tick(now event.Cycle) {
 	d.sys.queue.ScheduleAfter(d.interval, d, 0, 0, 0)
 }
 
-// writeBuffer invalidates the buffer's lines system-wide and hands the
-// data to the home memory controller, paying one broadcast slot.
+// writeBuffer picks the next buffer target and hands the coherent write
+// to the fabric (broadcast on the bus, home transaction on the directory).
 func (d *dmaAgent) writeBuffer(now event.Cycle) {
-	s := d.sys
 	seg := d.targets[d.segIdx]
 	base := seg.At(d.offset)
 	d.offset += d.bufBytes
@@ -71,37 +69,5 @@ func (d *dmaAgent) writeBuffer(now event.Cycle) {
 		d.offset = 0
 		d.segIdx = (d.segIdx + 1) % len(d.targets)
 	}
-
-	grant := s.abus.Arbitrate(now)
-	s.run.Windows.Record(grant)
-	s.run.DMAWrites++
-
-	lines := int(d.bufBytes / s.cfg.L2.LineBytes)
-	for i := 0; i < lines; i++ {
-		line := s.geom.Line(addr.Addr(uint64(base) + uint64(i)*s.cfg.L2.LineBytes))
-		region := s.geom.RegionOfLine(line)
-		s.trackExternalWrite(line)
-		for _, o := range s.nodes {
-			o.l2.Invalidate(line) // back-invalidates L1s, maintains counts
-			if o.nsrt != nil {
-				o.nsrt.Observe(region)
-			}
-			if o.rca != nil {
-				if e := o.rca.Probe(region); e != nil {
-					// The device overwrote lines of the region: treat it as
-					// an external modifiable request.
-					next, outcome := o.protocol.AfterExternal(e.State, coherence.ReqReadExcl, true, e.LineCount)
-					if outcome == core.ExtSelfInvalidated {
-						o.rca.Stats.SelfInvals++
-						o.rca.SetState(region, core.RegionInvalid)
-					} else if next != e.State {
-						o.rca.Stats.DowngradeExt++
-						o.rca.SetState(region, next)
-					}
-				}
-			}
-		}
-	}
-	home := s.topo.HomeController(addr.Addr(base))
-	s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+	d.sys.fabric.dmaWrite(d, addr.Addr(base), now)
 }

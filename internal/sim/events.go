@@ -4,7 +4,6 @@ import (
 	"cgct/internal/addr"
 	"cgct/internal/coherence"
 	"cgct/internal/event"
-	"cgct/internal/stats"
 )
 
 // Pooled-event dispatch. Every scheduling site in the simulator routes
@@ -56,7 +55,9 @@ func unpackReq(u32 uint32) (coherence.ReqKind, bool) {
 	return coherence.ReqKind(u32 &^ forStoreBit), u32&forStoreBit != 0
 }
 
-// HandleEvent implements event.Handler.
+// HandleEvent implements event.Handler. Node-owned ops dispatch here;
+// fabric-owned ops (broadcasts, probes, home transactions) forward to the
+// active coherence fabric.
 func (n *node) HandleEvent(now event.Cycle, op uint8, u32 uint32, u64 uint64) {
 	switch op {
 	case nodeOpStep:
@@ -65,23 +66,8 @@ func (n *node) HandleEvent(now event.Cycle, op uint8, u32 uint32, u64 uint64) {
 	case nodeOpCompleteFill:
 		kind, forStore := unpackReq(u32)
 		n.completeFill(kind, addr.LineAddr(u64), now, forStore)
-	case nodeOpBroadcast:
-		kind, forStore := unpackReq(u32)
-		line := addr.LineAddr(u64)
-		n.performBroadcast(kind, line, n.sys.geom.RegionOfLine(line), now, forStore)
-	case nodeOpWritebackBcast:
-		line := addr.LineAddr(u64)
-		// Write-backs are always unnecessary broadcasts (§5.1).
-		n.sys.run.OracleUnnecessary[stats.CatWriteback]++
-		n.sys.writebackToMC(n, line, n.sys.topo.HomeController(addr.Addr(line)), now, false)
-	case nodeOpRegionProbe:
-		n.performRegionProbe(addr.RegionAddr(u64), now)
-	case nodeOpResolveDir:
-		kind, forStore := unpackReq(u32)
-		line := addr.LineAddr(u64)
-		n.resolveAtDirectory(kind, line, n.sys.topo.HomeController(addr.Addr(line)), now, forStore)
-	case nodeOpDirWriteback:
-		n.dirWritebackArrived(addr.LineAddr(u64), now)
+	default:
+		n.sys.fabric.handle(n, now, op, u32, u64)
 	}
 }
 

@@ -8,107 +8,48 @@ import (
 	"cgct/internal/coherence"
 	"cgct/internal/core"
 	"cgct/internal/event"
-	"cgct/internal/oracle"
 	"cgct/internal/stats"
 )
 
+// coherenceFabric is the pluggable interconnect + coherence backend. The
+// snooping fabric (snoop.go) arbitrates a broadcast address bus; the
+// directory fabric (directory.go) sends every request to the line's home
+// controller. Both sit under the same Region Coherence Array: the region
+// protocol picks the route, the fabric decides what a broadcast, direct
+// or local route costs and which messages it generates.
+//
+// All methods run on the simulator's single event loop; fabrics keep
+// per-run state freely. close releases process-wide gauges and must be
+// called exactly once, after the run (RunContext defers it).
+type coherenceFabric interface {
+	// issue enters a request into the fabric at time t (the node-side
+	// entry point for misses, store upgrades, prefetches, write-backs).
+	issue(n *node, kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool)
+	// flushWriteback writes a dirty line back on the region-eviction
+	// flush path: the victim region entry's controller ID routes the data
+	// without any lookup.
+	flushWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle)
+	// lineEvicted notes a clean line silently leaving n's L2 (capacity
+	// eviction or region-eviction flush). The snooping fabric ignores it;
+	// the directory fabric sends the home a replacement hint.
+	lineEvicted(n *node, line addr.LineAddr)
+	// dmaWrite performs one coherent DMA buffer write starting at base.
+	dmaWrite(d *dmaAgent, base addr.Addr, now event.Cycle)
+	// handle dispatches the fabric-owned event op codes (see events.go).
+	handle(n *node, now event.Cycle, op uint8, u32 uint32, u64 uint64)
+	// collect folds fabric-internal statistics into the run record.
+	collect(run *stats.Run)
+	// close releases fabric resources (process-wide gauges).
+	close()
+}
+
 // issueRequest sends a memory request of kind for line into the coherence
 // fabric at time t. Under CGCT the region protocol chooses the route
-// (broadcast, direct-to-memory, or local completion); the baseline always
-// broadcasts. forStore marks requests issued for a store-buffer entry;
-// completion frees the slot.
+// (broadcast/full-transaction, direct-to-memory, or local completion); the
+// baseline always takes the fabric's default path. forStore marks requests
+// issued for a store-buffer entry; completion frees the slot.
 func (n *node) issueRequest(kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
-	s := n.sys
-	if s.dirs != nil {
-		n.issueRequestDirectory(kind, line, t, forStore)
-		return
-	}
-	t = s.perturb(t)
-	s.run.Requests[kind]++
-
-	region := s.geom.RegionOfLine(line)
-	route := core.RouteBroadcast
-	regionMC := s.topo.HomeControllerRegion(region)
-	if n.rca != nil {
-		st := n.rca.Lookup(region)
-		s.run.RegionStateAtLookup[st]++
-		route = n.protocol.Route(st, kind)
-		if e := n.rca.Probe(region); e != nil {
-			regionMC = e.MemCtrl
-		}
-	}
-	if n.nsrt != nil && kind != coherence.ReqWriteback && n.nsrt.Lookup(region) {
-		// RegionScout: the region is recorded globally unshared.
-		switch kind {
-		case coherence.ReqUpgrade, coherence.ReqDCBZ, coherence.ReqDCBI:
-			route = core.RouteLocal
-		default:
-			route = core.RouteDirect
-		}
-	}
-
-	if kind == coherence.ReqWriteback {
-		if route == core.RouteDirect {
-			s.run.Directs[kind]++
-			s.writebackToMC(n, line, regionMC, t, true)
-		} else {
-			s.run.Broadcasts[kind]++
-			grant := s.abus.Arbitrate(t)
-			s.run.Windows.Record(grant)
-			s.queue.Schedule(grant, n, nodeOpWritebackBcast, 0, uint64(line))
-		}
-		return
-	}
-
-	switch route {
-	case core.RouteLocal:
-		s.run.LocalDones[kind]++
-		if s.DebugChecks {
-			s.checkNonBroadcastSafe(n, kind, line, t, "local")
-		}
-		n.applyLocalRoute(kind, line, region)
-		n.outstanding++
-		s.queue.Schedule(t, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
-	case core.RouteDirect:
-		s.run.Directs[kind]++
-		n.outstanding++
-		arrive := n.applyDirectRoute(kind, line, region, regionMC, t)
-		s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
-	default: // broadcast
-		s.run.Broadcasts[kind]++
-		n.outstanding++
-		if _, dup := n.pending[line]; !dup {
-			n.pending[line] = n.newMSHR()
-		}
-		grant := s.abus.Arbitrate(t)
-		s.run.Windows.Record(grant)
-		s.queue.Schedule(grant, n, nodeOpBroadcast, packReq(kind, forStore), uint64(line))
-		return
-	}
-	if _, dup := n.pending[line]; !dup {
-		n.pending[line] = n.newMSHR()
-	}
-}
-
-// writebackToMC sends dirty data to memory controller mc (direct path when
-// direct is true; otherwise the data follows a broadcast and pays the snoop
-// latency first).
-func (s *System) writebackToMC(n *node, line addr.LineAddr, mc int, t event.Cycle, direct bool) {
-	lat := uint64(0)
-	if direct {
-		lat = s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, mc))
-	} else {
-		lat = s.cfg.Net.SnoopLatency
-	}
-	s.mcs[mc].Write(t+event.Cycle(lat), direct)
-}
-
-// directWriteback is the region-eviction flush path: the victim entry's
-// controller ID routes the data without any lookup.
-func (s *System) directWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle) {
-	s.run.Requests[coherence.ReqWriteback]++
-	s.run.Directs[coherence.ReqWriteback]++
-	s.writebackToMC(n, line, mc, s.perturb(t), true)
+	n.sys.fabric.issue(n, kind, line, t, forStore)
 }
 
 // grantedLineState returns the MOESI state a data request acquires its
@@ -151,9 +92,9 @@ func (n *node) applyLocalRoute(kind coherence.ReqKind, line addr.LineAddr, regio
 	}
 }
 
-// applyDirectRoute performs a request on the direct path (no broadcast):
-// the cache and region state change at issue time; the returned cycle is
-// when the data (if any) arrives.
+// applyDirectRoute performs a request on the direct path (no broadcast,
+// no home transaction): the cache and region state change at issue time;
+// the returned cycle is when the data (if any) arrives.
 func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, mc int, t event.Cycle) event.Cycle {
 	s := n.sys
 	prev := core.RegionInvalid
@@ -227,199 +168,76 @@ func (n *node) applyDirectRoute(kind coherence.ReqKind, line addr.LineAddr, regi
 	return arrive
 }
 
-// performBroadcast executes a broadcast at its bus-grant time: snoop every
-// other processor (line state and region state), classify the broadcast
-// with the oracle, apply the conventional MOESI actions and the region-
-// protocol transitions, and schedule the data delivery.
-func (n *node) performBroadcast(kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, forStore bool) {
-	s := n.sys
-
-	// An upgrade whose line was invalidated while the request was queued
-	// must fetch the data after all.
-	if kind == coherence.ReqUpgrade && !n.l2.Lookup(line).Valid() {
-		kind = coherence.ReqReadExcl
+// applyExternalRegion runs the Figure 5 external-request transition of
+// o's region entry (if any) for an observed request of kind: downgrade, or
+// self-invalidate when the region holds no cached lines. Every site that
+// makes a remote processor observe a region-touching event — snoop-bus
+// broadcasts, region probes, directory region notifications, DMA writes —
+// funnels through here so the bookkeeping cannot drift between fabrics.
+// It reports whether o held an entry for the region.
+func applyExternalRegion(o *node, region addr.RegionAddr, kind coherence.ReqKind, requesterExclusive bool) bool {
+	if o.rca == nil {
+		return false
 	}
+	e := o.rca.Probe(region)
+	if e == nil {
+		return false
+	}
+	next, outcome := o.protocol.AfterExternal(e.State, kind, requesterExclusive, e.LineCount)
+	if outcome == core.ExtSelfInvalidated {
+		o.rca.Stats.SelfInvals++
+		o.rca.SetState(region, core.RegionInvalid)
+	} else if next != e.State {
+		o.rca.Stats.DowngradeExt++
+		o.rca.SetState(region, next)
+	}
+	return true
+}
 
-	// --- Snoop phase (state observed before any action). ---
-	remoteValid, remoteWritable := false, false
-	owner := -1
-	regionClean, regionDirty := false, false
-	crhPresent := false
+// applyBroadcastResponse runs the requester-side region transition for a
+// completed broadcast, probe, or directory home transaction (Figures 3
+// and 4): build the combined snoop response, consult AfterBroadcast, and
+// update — or allocate — the region entry. It reports whether a new entry
+// was allocated (allocation may displace a victim region, whose lines the
+// RCA's OnEvict hook flushes first). Both fabrics and the region-probe
+// path share this one constructor so the response fields cannot drift.
+func (n *node) applyBroadcastResponse(region addr.RegionAddr, kind coherence.ReqKind, requesterExclusive, regionClean, regionDirty bool, owner int) bool {
+	resp := coherence.SnoopResponse{RegionClean: regionClean, RegionDirty: regionDirty, OwnerID: owner}
+	prev := core.RegionInvalid
+	if e := n.rca.Probe(region); e != nil {
+		prev = e.State
+	}
+	next := n.protocol.AfterBroadcast(prev, kind, requesterExclusive, resp)
+	if !next.Valid() {
+		return false
+	}
+	if prev.Valid() {
+		n.rca.SetState(region, next)
+		return false
+	}
+	n.rca.Allocate(region, next, n.sys.topo.HomeControllerRegion(region))
+	return true
+}
+
+// observeRemoteRegion gathers the region snoop response from every node
+// but the requester: whether any remote cache holds clean lines of the
+// region, and whether any holds modifiable ones. Pure observation — used
+// by paths that have no fused snoop loop (region probes, the directory
+// fabric); it must run before any line action mutates the caches.
+func (s *System) observeRemoteRegion(exclude int, region addr.RegionAddr) (regionClean, regionDirty bool) {
 	for _, o := range s.nodes {
-		if o.id == n.id {
+		if o.id == exclude {
 			continue
 		}
-		crhP := o.crh != nil && o.crh.Present(region)
-		if crhP {
-			// RegionScout: the imprecise cached-region-hash answer — hash
-			// collisions make this conservative where CGCT's precise
-			// region snoop is exact.
-			crhPresent = true
+		p, m := o.l2.RegionSnoop(s.geom, region)
+		if p && !m {
+			regionClean = true
 		}
-		// A snooped processor whose RCA (or cached-region hash) proves the
-		// region absent need not probe its cache tags at all. The RCA tracks
-		// every region with cached lines and the hash never misses a present
-		// region, so the simulator exploits the same filter the hardware
-		// does and skips the tag scans outright.
-		if (o.rca != nil && o.rca.Probe(region) == nil) || (o.crh != nil && !crhP) {
-			s.run.SnoopTagFiltered++
-			continue
-		}
-		s.run.SnoopTagLookups++
-		if st := o.l2.Lookup(line); st.Valid() {
-			remoteValid = true
-			if st.Dirty() || st == coherence.Exclusive {
-				remoteWritable = true
-			}
-			if st.Dirty() {
-				owner = o.id
-			}
-		}
-		if n.rca != nil {
-			p, m := o.l2.RegionSnoop(s.geom, region)
-			if p && !m {
-				regionClean = true
-			}
-			if m {
-				regionDirty = true
-			}
+		if m {
+			regionDirty = true
 		}
 	}
-
-	// --- Oracle classification (Figure 2). ---
-	cat := stats.CategoryOf(kind)
-	if oracle.Unnecessary(kind, remoteValid, remoteWritable) {
-		s.run.OracleUnnecessary[cat]++
-	} else {
-		s.run.OracleNecessary[cat]++
-	}
-
-	granted := grantedLineState(kind, remoteValid)
-	requesterExclusive := granted == coherence.Exclusive || granted == coherence.Modified
-
-	// --- Conventional protocol actions on the other processors. ---
-	for _, o := range s.nodes {
-		if o.id == n.id {
-			continue
-		}
-		st := o.l2.Lookup(line)
-		if st.Valid() {
-			switch kind {
-			case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch:
-				switch st {
-				case coherence.Modified:
-					o.l2.SetState(line, coherence.Owned)
-					o.l1d.SetState(line, coherence.Shared)
-				case coherence.Exclusive:
-					o.l2.SetState(line, coherence.Shared)
-					o.l1d.SetState(line, coherence.Shared)
-				}
-			case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade,
-				coherence.ReqDCBZ, coherence.ReqDCBI:
-				o.l2.Invalidate(line)
-			case coherence.ReqDCBF:
-				if st.Dirty() {
-					home := s.topo.HomeController(addr.Addr(line))
-					s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
-				}
-				o.l2.Invalidate(line)
-			}
-		}
-		// RegionScout: observing any external request for the region ends
-		// its not-shared status.
-		if o.nsrt != nil {
-			o.nsrt.Observe(region)
-		}
-		// Region protocol: external-request transitions (Figure 5).
-		if o.rca != nil {
-			if e := o.rca.Probe(region); e != nil {
-				next, outcome := o.protocol.AfterExternal(e.State, kind, requesterExclusive, e.LineCount)
-				if outcome == core.ExtSelfInvalidated {
-					o.rca.Stats.SelfInvals++
-					o.rca.SetState(region, core.RegionInvalid)
-				} else if next != e.State {
-					o.rca.Stats.DowngradeExt++
-					o.rca.SetState(region, next)
-				}
-			}
-		}
-	}
-
-	// --- Region protocol on the requester (Figures 3 and 4). ---
-	if n.rca != nil {
-		resp := coherence.SnoopResponse{RegionClean: regionClean, RegionDirty: regionDirty, OwnerID: owner}
-		prev := core.RegionInvalid
-		if e := n.rca.Probe(region); e != nil {
-			prev = e.State
-		}
-		next := n.protocol.AfterBroadcast(prev, kind, requesterExclusive, resp)
-		if next.Valid() {
-			if prev.Valid() {
-				n.rca.SetState(region, next)
-			} else {
-				// Allocation may displace a victim region, whose lines are
-				// flushed by the RCA's OnEvict hook first.
-				n.rca.Allocate(region, next, s.topo.HomeControllerRegion(region))
-				n.maybeProbeNextRegion(region, grant)
-			}
-		}
-	}
-
-	// RegionScout learning: a snoop that found no region presence records
-	// the region as globally unshared.
-	if n.nsrt != nil && !crhPresent {
-		n.nsrt.Insert(region)
-	}
-
-	// --- Requester cache update. ---
-	switch kind {
-	case coherence.ReqUpgrade:
-		n.l2.Promote(line, coherence.Modified)
-		s.trackWrite(n.id, line)
-	case coherence.ReqDCBZ:
-		n.l2.Allocate(line, coherence.Modified)
-		s.trackWrite(n.id, line)
-	case coherence.ReqDCBI:
-		n.l2.Invalidate(line)
-	case coherence.ReqDCBF:
-		if st := n.l2.Lookup(line); st.Valid() {
-			if st.Dirty() {
-				home := s.topo.HomeController(addr.Addr(line))
-				s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
-			}
-			n.l2.Invalidate(line)
-		}
-	default: // data-bearing kinds
-		n.l2.Allocate(line, granted)
-		if granted == coherence.Modified {
-			s.trackWrite(n.id, line)
-		}
-	}
-
-	if s.DebugChecks {
-		s.checkRegionExclusivity(region, grant)
-		s.checkLineInvariants(line, grant)
-	}
-
-	// --- Timing. ---
-	snoopDone := grant + event.Cycle(s.cfg.Net.SnoopLatency)
-	arrive := snoopDone
-	if kind.WantsData() {
-		if owner >= 0 {
-			// Cache-to-cache transfer from the dirty owner.
-			s.run.CacheToCache++
-			ready := snoopDone + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToProc(n.id, owner)))
-			arrive = s.dnet.Deliver(n.id, ready)
-		} else {
-			// Memory supplies the data; DRAM overlaps the snoop, so only
-			// the non-overlapped tail is exposed (Figure 6).
-			home := s.topo.HomeController(addr.Addr(line))
-			ready := s.mcs[home].Read(grant, false, s.cfg.Net.SnoopLatency+s.cfg.Net.DRAMOverlapExtra)
-			ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(n.id, home)))
-			arrive = s.dnet.Deliver(n.id, ready)
-		}
-	}
-	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+	return regionClean, regionDirty
 }
 
 // completeFill finishes a request: fill the L1s for demand kinds, release
@@ -534,73 +352,5 @@ func (s *System) checkRegionExclusivity(region addr.RegionAddr, cycle event.Cycl
 			})
 		}
 		holder = o.id
-	}
-}
-
-// maybeProbeNextRegion implements the §6 region-state prefetch: when a new
-// region entry was just allocated and the preceding region is also present
-// (evidence of a sequential stream), probe the global state of the next
-// region. The probe is a broadcast that requests no data — it only gathers
-// the region snoop response, downgrading remote exclusive entries exactly
-// as a shared read would, so the prober and the remote holders end up
-// mutually consistent.
-func (n *node) maybeProbeNextRegion(region addr.RegionAddr, now event.Cycle) {
-	s := n.sys
-	if !s.cfg.Proc.RegionPrefetch {
-		return
-	}
-	rb := uint64(s.geom.RegionBytes)
-	prev := addr.RegionAddr(uint64(region) - rb)
-	next := addr.RegionAddr(uint64(region) + rb)
-	if uint64(region) < rb || n.rca.Probe(prev) == nil || n.rca.Probe(next) != nil {
-		return
-	}
-	grant := s.abus.Arbitrate(now)
-	s.run.Windows.Record(grant)
-	s.queue.Schedule(grant, n, nodeOpRegionProbe, 0, uint64(next))
-}
-
-// performRegionProbe executes the probe at its bus-grant time.
-func (n *node) performRegionProbe(region addr.RegionAddr, grant event.Cycle) {
-	s := n.sys
-	if n.rca == nil || n.rca.Probe(region) != nil {
-		return // raced with a demand allocation
-	}
-	regionClean, regionDirty := false, false
-	for _, o := range s.nodes {
-		if o.id == n.id {
-			continue
-		}
-		p, m := o.l2.RegionSnoop(s.geom, region)
-		if p && !m {
-			regionClean = true
-		}
-		if m {
-			regionDirty = true
-		}
-		if o.rca != nil {
-			if e := o.rca.Probe(region); e != nil {
-				// The probe behaves like an external shared read: remote
-				// exclusives downgrade (or self-invalidate when empty) so
-				// that no silent upgrades can invalidate the prober's view.
-				nxt, outcome := o.protocol.AfterExternal(e.State, coherence.ReqIFetch, false, e.LineCount)
-				if outcome == core.ExtSelfInvalidated {
-					o.rca.Stats.SelfInvals++
-					o.rca.SetState(region, core.RegionInvalid)
-				} else if nxt != e.State {
-					o.rca.Stats.DowngradeExt++
-					o.rca.SetState(region, nxt)
-				}
-			}
-		}
-	}
-	resp := coherence.SnoopResponse{RegionClean: regionClean, RegionDirty: regionDirty, OwnerID: -1}
-	st := n.protocol.AfterBroadcast(core.RegionInvalid, coherence.ReqIFetch, false, resp)
-	if st.Valid() {
-		n.rca.Allocate(region, st, s.topo.HomeControllerRegion(region))
-		s.run.RegionProbes++
-	}
-	if s.DebugChecks {
-		s.checkRegionExclusivity(region, grant)
 	}
 }

@@ -494,10 +494,11 @@ func (n *node) onL2Evict(l cache.Line, wasEviction bool) {
 	}
 	if wasEviction && l.State.Dirty() {
 		n.issueRequest(coherence.ReqWriteback, l.Addr, n.now(), false)
-	} else if wasEviction && n.sys.dirs != nil {
-		// Directory mode: replacement hint for clean evictions, so the
-		// directory never believes we still hold the line.
-		n.sys.dirEvictNotice(n, l.Addr)
+	} else if wasEviction {
+		// Silent clean eviction: the directory fabric needs a replacement
+		// hint so it never believes we still hold the line; the snooping
+		// fabric ignores it.
+		n.sys.fabric.lineEvicted(n, l.Addr)
 	}
 }
 
@@ -514,7 +515,11 @@ func (n *node) onRegionEvict(e core.Entry) {
 			continue
 		}
 		if st.Dirty() {
-			n.sys.directWriteback(n, line, e.MemCtrl, n.now())
+			n.sys.fabric.flushWriteback(n, line, e.MemCtrl, n.now())
+		} else {
+			// Clean lines leave silently; the directory fabric still needs
+			// the replacement hint (no-op on the snooping fabric).
+			n.sys.fabric.lineEvicted(n, line)
 		}
 		n.l2.Invalidate(line) // fires onL2Evict: L1 back-inval + count
 	}

@@ -436,8 +436,7 @@ func TestDirectoryMode(t *testing.T) {
 		ops = 4_000
 	}
 	for _, name := range []string{"barnes", "tpc-h", "specweb99", "ocean"} {
-		cfg := config.Default()
-		cfg.DirectoryMode = true
+		cfg := config.Default().WithDirectory(config.DirectoryParams{})
 		s := MustNew(cfg, testWorkload(t, name, 4, ops, 21), 21)
 		s.DebugChecks = true
 		run := s.Run()
@@ -476,8 +475,7 @@ func TestDirectoryStress(t *testing.T) {
 		}
 		gens[p] = &workload.SliceGenerator{Ops: ops}
 	}
-	cfg := config.Default()
-	cfg.DirectoryMode = true
+	cfg := config.Default().WithDirectory(config.DirectoryParams{})
 	s := MustNew(cfg, workload.Workload{Name: "dir-stress", Generators: gens}, 77)
 	s.DebugChecks = true
 	run := s.Run()
@@ -486,11 +484,28 @@ func TestDirectoryStress(t *testing.T) {
 	}
 }
 
-func TestDirectoryExclusiveWithCGCTRejected(t *testing.T) {
-	cfg := config.Default().WithCGCT(512)
-	cfg.DirectoryMode = true
-	if err := cfg.Validate(); err == nil {
-		t.Error("directory+CGCT accepted")
+// TestDirectoryWithCGCT composes the RCA with the directory fabric: all
+// invariants armed, and the RCA must divert some requests around the home
+// pipeline (fast paths) while the system stays coherent.
+func TestDirectoryWithCGCT(t *testing.T) {
+	ops := 15_000
+	if testing.Short() {
+		ops = 4_000
+	}
+	for _, name := range []string{"barnes", "ocean"} {
+		cfg := config.Default().WithCGCT(512).WithDirectory(config.DirectoryParams{})
+		s := MustNew(cfg, testWorkload(t, name, 4, ops, 21), 21)
+		s.DebugChecks = true
+		run := s.Run()
+		if run.TotalBroadcasts() != 0 {
+			t.Errorf("%s: directory+CGCT broadcast %d requests", name, run.TotalBroadcasts())
+		}
+		if run.DirFastPaths == 0 {
+			t.Errorf("%s: RCA diverted nothing around the home pipeline", name)
+		}
+		if run.DirMessages == 0 {
+			t.Errorf("%s: no directory messages", name)
+		}
 	}
 }
 

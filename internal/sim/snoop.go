@@ -1,0 +1,397 @@
+package sim
+
+import (
+	"fmt"
+
+	"cgct/internal/addr"
+	"cgct/internal/bus"
+	"cgct/internal/coherence"
+	"cgct/internal/core"
+	"cgct/internal/event"
+	"cgct/internal/oracle"
+	"cgct/internal/stats"
+)
+
+// snoopFabric is the broadcast snooping backend (the paper's base
+// system): requests arbitrate for a global address bus, every processor
+// snoops its tags, and the combined snoop response resolves the MOESI
+// transaction. CGCT's direct and local routes bypass the bus entirely.
+type snoopFabric struct {
+	s    *System
+	abus *bus.AddressBus
+}
+
+func newSnoopFabric(s *System) *snoopFabric {
+	return &snoopFabric{s: s, abus: bus.NewAddressBus(s.cfg.Net)}
+}
+
+// issue implements coherenceFabric.
+func (f *snoopFabric) issue(n *node, kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
+	s := f.s
+	t = s.perturb(t)
+	s.run.Requests[kind]++
+
+	region := s.geom.RegionOfLine(line)
+	route := core.RouteBroadcast
+	regionMC := s.topo.HomeControllerRegion(region)
+	if n.rca != nil {
+		st := n.rca.Lookup(region)
+		s.run.RegionStateAtLookup[st]++
+		route = n.protocol.Route(st, kind)
+		if e := n.rca.Probe(region); e != nil {
+			regionMC = e.MemCtrl
+		}
+	}
+	if n.nsrt != nil && kind != coherence.ReqWriteback && n.nsrt.Lookup(region) {
+		// RegionScout: the region is recorded globally unshared.
+		switch kind {
+		case coherence.ReqUpgrade, coherence.ReqDCBZ, coherence.ReqDCBI:
+			route = core.RouteLocal
+		default:
+			route = core.RouteDirect
+		}
+	}
+
+	if kind == coherence.ReqWriteback {
+		if route == core.RouteDirect {
+			s.run.Directs[kind]++
+			f.writebackToMC(n, line, regionMC, t, true)
+		} else {
+			s.run.Broadcasts[kind]++
+			grant := f.abus.Arbitrate(t)
+			s.run.Windows.Record(grant)
+			s.queue.Schedule(grant, n, nodeOpWritebackBcast, 0, uint64(line))
+		}
+		return
+	}
+
+	switch route {
+	case core.RouteLocal:
+		s.run.LocalDones[kind]++
+		if s.DebugChecks {
+			s.checkNonBroadcastSafe(n, kind, line, t, "local")
+		}
+		n.applyLocalRoute(kind, line, region)
+		n.outstanding++
+		s.queue.Schedule(t, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+	case core.RouteDirect:
+		s.run.Directs[kind]++
+		n.outstanding++
+		arrive := n.applyDirectRoute(kind, line, region, regionMC, t)
+		s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+	default: // broadcast
+		s.run.Broadcasts[kind]++
+		n.outstanding++
+		if _, dup := n.pending[line]; !dup {
+			n.pending[line] = n.newMSHR()
+		}
+		grant := f.abus.Arbitrate(t)
+		s.run.Windows.Record(grant)
+		s.queue.Schedule(grant, n, nodeOpBroadcast, packReq(kind, forStore), uint64(line))
+		return
+	}
+	if _, dup := n.pending[line]; !dup {
+		n.pending[line] = n.newMSHR()
+	}
+}
+
+// writebackToMC sends dirty data to memory controller mc (direct path when
+// direct is true; otherwise the data follows a broadcast and pays the snoop
+// latency first).
+func (f *snoopFabric) writebackToMC(n *node, line addr.LineAddr, mc int, t event.Cycle, direct bool) {
+	s := f.s
+	lat := uint64(0)
+	if direct {
+		lat = s.cfg.Net.DirectRequestLatency(s.topo.ProcToMem(n.id, mc))
+	} else {
+		lat = s.cfg.Net.SnoopLatency
+	}
+	s.mcs[mc].Write(t+event.Cycle(lat), direct)
+}
+
+// flushWriteback implements coherenceFabric: the region-eviction flush
+// path goes direct to the victim entry's controller.
+func (f *snoopFabric) flushWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle) {
+	s := f.s
+	s.run.Requests[coherence.ReqWriteback]++
+	s.run.Directs[coherence.ReqWriteback]++
+	f.writebackToMC(n, line, mc, s.perturb(t), true)
+}
+
+// lineEvicted implements coherenceFabric: snooping needs no replacement
+// hints — there is no directory state to keep in step.
+func (f *snoopFabric) lineEvicted(n *node, line addr.LineAddr) {}
+
+// handle implements coherenceFabric (the snoop-owned event op codes).
+func (f *snoopFabric) handle(n *node, now event.Cycle, op uint8, u32 uint32, u64 uint64) {
+	switch op {
+	case nodeOpBroadcast:
+		kind, forStore := unpackReq(u32)
+		line := addr.LineAddr(u64)
+		f.performBroadcast(n, kind, line, f.s.geom.RegionOfLine(line), now, forStore)
+	case nodeOpWritebackBcast:
+		line := addr.LineAddr(u64)
+		// Write-backs are always unnecessary broadcasts (§5.1).
+		f.s.run.OracleUnnecessary[stats.CatWriteback]++
+		f.writebackToMC(n, line, f.s.topo.HomeController(addr.Addr(line)), now, false)
+	case nodeOpRegionProbe:
+		f.performRegionProbe(n, addr.RegionAddr(u64), now)
+	default:
+		panic(fmt.Sprintf("sim: snoop fabric cannot handle op %d", op))
+	}
+}
+
+// collect implements coherenceFabric: every snoop-side statistic is
+// already accumulated straight into the run record.
+func (f *snoopFabric) collect(run *stats.Run) {}
+
+// close implements coherenceFabric.
+func (f *snoopFabric) close() {}
+
+// performBroadcast executes a broadcast at its bus-grant time: snoop every
+// other processor (line state and region state), classify the broadcast
+// with the oracle, apply the conventional MOESI actions and the region-
+// protocol transitions, and schedule the data delivery.
+func (f *snoopFabric) performBroadcast(n *node, kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, forStore bool) {
+	s := f.s
+
+	// An upgrade whose line was invalidated while the request was queued
+	// must fetch the data after all.
+	if kind == coherence.ReqUpgrade && !n.l2.Lookup(line).Valid() {
+		kind = coherence.ReqReadExcl
+	}
+
+	// --- Snoop phase (state observed before any action). ---
+	remoteValid, remoteWritable := false, false
+	owner := -1
+	regionClean, regionDirty := false, false
+	crhPresent := false
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		crhP := o.crh != nil && o.crh.Present(region)
+		if crhP {
+			// RegionScout: the imprecise cached-region-hash answer — hash
+			// collisions make this conservative where CGCT's precise
+			// region snoop is exact.
+			crhPresent = true
+		}
+		// A snooped processor whose RCA (or cached-region hash) proves the
+		// region absent need not probe its cache tags at all. The RCA tracks
+		// every region with cached lines and the hash never misses a present
+		// region, so the simulator exploits the same filter the hardware
+		// does and skips the tag scans outright.
+		if (o.rca != nil && o.rca.Probe(region) == nil) || (o.crh != nil && !crhP) {
+			s.run.SnoopTagFiltered++
+			continue
+		}
+		s.run.SnoopTagLookups++
+		if st := o.l2.Lookup(line); st.Valid() {
+			remoteValid = true
+			if st.Dirty() || st == coherence.Exclusive {
+				remoteWritable = true
+			}
+			if st.Dirty() {
+				owner = o.id
+			}
+		}
+		if n.rca != nil {
+			p, m := o.l2.RegionSnoop(s.geom, region)
+			if p && !m {
+				regionClean = true
+			}
+			if m {
+				regionDirty = true
+			}
+		}
+	}
+
+	// --- Oracle classification (Figure 2). ---
+	cat := stats.CategoryOf(kind)
+	if oracle.Unnecessary(kind, remoteValid, remoteWritable) {
+		s.run.OracleUnnecessary[cat]++
+	} else {
+		s.run.OracleNecessary[cat]++
+	}
+
+	granted := grantedLineState(kind, remoteValid)
+	requesterExclusive := granted == coherence.Exclusive || granted == coherence.Modified
+
+	// --- Conventional protocol actions on the other processors. ---
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		st := o.l2.Lookup(line)
+		if st.Valid() {
+			switch kind {
+			case coherence.ReqRead, coherence.ReqPrefetch, coherence.ReqIFetch:
+				switch st {
+				case coherence.Modified:
+					o.l2.SetState(line, coherence.Owned)
+					o.l1d.SetState(line, coherence.Shared)
+				case coherence.Exclusive:
+					o.l2.SetState(line, coherence.Shared)
+					o.l1d.SetState(line, coherence.Shared)
+				}
+			case coherence.ReqReadExcl, coherence.ReqPrefetchExcl, coherence.ReqUpgrade,
+				coherence.ReqDCBZ, coherence.ReqDCBI:
+				o.l2.Invalidate(line)
+			case coherence.ReqDCBF:
+				if st.Dirty() {
+					home := s.topo.HomeController(addr.Addr(line))
+					s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+				}
+				o.l2.Invalidate(line)
+			}
+		}
+		// RegionScout: observing any external request for the region ends
+		// its not-shared status.
+		if o.nsrt != nil {
+			o.nsrt.Observe(region)
+		}
+		// Region protocol: external-request transitions (Figure 5).
+		applyExternalRegion(o, region, kind, requesterExclusive)
+	}
+
+	// --- Region protocol on the requester (Figures 3 and 4). ---
+	if n.rca != nil {
+		if n.applyBroadcastResponse(region, kind, requesterExclusive, regionClean, regionDirty, owner) {
+			f.maybeProbeNextRegion(n, region, grant)
+		}
+	}
+
+	// RegionScout learning: a snoop that found no region presence records
+	// the region as globally unshared.
+	if n.nsrt != nil && !crhPresent {
+		n.nsrt.Insert(region)
+	}
+
+	// --- Requester cache update. ---
+	switch kind {
+	case coherence.ReqUpgrade:
+		n.l2.Promote(line, coherence.Modified)
+		s.trackWrite(n.id, line)
+	case coherence.ReqDCBZ:
+		n.l2.Allocate(line, coherence.Modified)
+		s.trackWrite(n.id, line)
+	case coherence.ReqDCBI:
+		n.l2.Invalidate(line)
+	case coherence.ReqDCBF:
+		if st := n.l2.Lookup(line); st.Valid() {
+			if st.Dirty() {
+				home := s.topo.HomeController(addr.Addr(line))
+				s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+			}
+			n.l2.Invalidate(line)
+		}
+	default: // data-bearing kinds
+		n.l2.Allocate(line, granted)
+		if granted == coherence.Modified {
+			s.trackWrite(n.id, line)
+		}
+	}
+
+	if s.DebugChecks {
+		s.checkRegionExclusivity(region, grant)
+		s.checkLineInvariants(line, grant)
+	}
+
+	// --- Timing. ---
+	snoopDone := grant + event.Cycle(s.cfg.Net.SnoopLatency)
+	arrive := snoopDone
+	if kind.WantsData() {
+		if owner >= 0 {
+			// Cache-to-cache transfer from the dirty owner.
+			s.run.CacheToCache++
+			ready := snoopDone + event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToProc(n.id, owner)))
+			arrive = s.dnet.Deliver(n.id, ready)
+		} else {
+			// Memory supplies the data; DRAM overlaps the snoop, so only
+			// the non-overlapped tail is exposed (Figure 6).
+			home := s.topo.HomeController(addr.Addr(line))
+			ready := s.mcs[home].Read(grant, false, s.cfg.Net.SnoopLatency+s.cfg.Net.DRAMOverlapExtra)
+			ready += event.Cycle(s.cfg.Net.TransferLatency(s.topo.ProcToMem(n.id, home)))
+			arrive = s.dnet.Deliver(n.id, ready)
+		}
+	}
+	s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+}
+
+// maybeProbeNextRegion implements the §6 region-state prefetch: when a new
+// region entry was just allocated and the preceding region is also present
+// (evidence of a sequential stream), probe the global state of the next
+// region. The probe is a broadcast that requests no data — it only gathers
+// the region snoop response, downgrading remote exclusive entries exactly
+// as a shared read would, so the prober and the remote holders end up
+// mutually consistent.
+func (f *snoopFabric) maybeProbeNextRegion(n *node, region addr.RegionAddr, now event.Cycle) {
+	s := f.s
+	if !s.cfg.Proc.RegionPrefetch {
+		return
+	}
+	rb := uint64(s.geom.RegionBytes)
+	prev := addr.RegionAddr(uint64(region) - rb)
+	next := addr.RegionAddr(uint64(region) + rb)
+	if uint64(region) < rb || n.rca.Probe(prev) == nil || n.rca.Probe(next) != nil {
+		return
+	}
+	grant := f.abus.Arbitrate(now)
+	s.run.Windows.Record(grant)
+	s.queue.Schedule(grant, n, nodeOpRegionProbe, 0, uint64(next))
+}
+
+// performRegionProbe executes the probe at its bus-grant time.
+func (f *snoopFabric) performRegionProbe(n *node, region addr.RegionAddr, grant event.Cycle) {
+	s := f.s
+	if n.rca == nil || n.rca.Probe(region) != nil {
+		return // raced with a demand allocation
+	}
+	regionClean, regionDirty := s.observeRemoteRegion(n.id, region)
+	for _, o := range s.nodes {
+		if o.id == n.id {
+			continue
+		}
+		// The probe behaves like an external shared read: remote
+		// exclusives downgrade (or self-invalidate when empty) so
+		// that no silent upgrades can invalidate the prober's view.
+		applyExternalRegion(o, region, coherence.ReqIFetch, false)
+	}
+	if n.applyBroadcastResponse(region, coherence.ReqIFetch, false, regionClean, regionDirty, -1) {
+		s.run.RegionProbes++
+	}
+	if s.DebugChecks {
+		s.checkRegionExclusivity(region, grant)
+	}
+}
+
+// dmaWrite implements coherenceFabric: the DMA buffer write is always
+// broadcast — the device has no RCA, so the paper's direct path never
+// applies to it. Every processor invalidates its copies of the buffer's
+// lines, and the region entries covering the buffer downgrade or
+// self-invalidate.
+func (f *snoopFabric) dmaWrite(d *dmaAgent, base addr.Addr, now event.Cycle) {
+	s := f.s
+	grant := f.abus.Arbitrate(now)
+	s.run.Windows.Record(grant)
+	s.run.DMAWrites++
+
+	lines := int(d.bufBytes / s.cfg.L2.LineBytes)
+	for i := 0; i < lines; i++ {
+		line := s.geom.Line(addr.Addr(uint64(base) + uint64(i)*s.cfg.L2.LineBytes))
+		region := s.geom.RegionOfLine(line)
+		s.trackExternalWrite(line)
+		for _, o := range s.nodes {
+			o.l2.Invalidate(line) // back-invalidates L1s, maintains counts
+			if o.nsrt != nil {
+				o.nsrt.Observe(region)
+			}
+			// The device overwrote lines of the region: treat it as an
+			// external modifiable request.
+			applyExternalRegion(o, region, coherence.ReqReadExcl, true)
+		}
+	}
+	home := s.topo.HomeController(base)
+	s.mcs[home].Write(grant+event.Cycle(s.cfg.Net.SnoopLatency), false)
+}

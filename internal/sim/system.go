@@ -34,17 +34,16 @@ const batchHorizon = 500
 
 // System is one assembled machine plus its workload.
 type System struct {
-	cfg   config.Config
-	geom  addr.Geometry
-	topo  *topology.Topology
-	queue event.Queue
-	abus  *bus.AddressBus
-	dnet  *bus.DataNet
-	mcs   []*memctrl.Controller
-	nodes []*node
-	dirs  []*directory // non-nil in directory mode
-	dma   *dmaAgent
-	r     *rng.Source // perturbation stream
+	cfg    config.Config
+	geom   addr.Geometry
+	topo   *topology.Topology
+	queue  event.Queue
+	fabric coherenceFabric
+	dnet   *bus.DataNet
+	mcs    []*memctrl.Controller
+	nodes  []*node
+	dma    *dmaAgent
+	r      *rng.Source // perturbation stream
 
 	// DebugChecks enables the expensive global invariants (used by tests):
 	// every non-broadcast route is validated against the true global cache
@@ -93,20 +92,19 @@ func New(cfg config.Config, w workload.Workload, seed uint64) (*System, error) {
 		cfg:  cfg,
 		geom: geom,
 		topo: topo,
-		abus: bus.NewAddressBus(cfg.Net),
 		dnet: bus.NewDataNet(cfg.Topology.Processors, cfg.Net, cfg.L2.LineBytes),
 		r:    rng.New(seed ^ 0xc0ffee_5eed),
 	}
 	for i := 0; i < topo.MemControllers(); i++ {
 		s.mcs = append(s.mcs, memctrl.New(i, cfg.Net.MemCtrlBanks, cfg.Net.DRAMLatency, cfg.Net.DRAMBankOccupancy))
 	}
+	if cfg.DirectoryEnabled() {
+		s.fabric = newDirectoryFabric(s)
+	} else {
+		s.fabric = newSnoopFabric(s)
+	}
 	for i := 0; i < cfg.Topology.Processors; i++ {
 		s.nodes = append(s.nodes, newNode(s, i, w.Source(i)))
-	}
-	if cfg.DirectoryMode {
-		for i := 0; i < topo.MemControllers(); i++ {
-			s.dirs = append(s.dirs, newDirectory(i))
-		}
 	}
 	s.dma = newDMAAgent(s, w.DMATargets, cfg.DMAIntervalCycles)
 	return s, nil
@@ -157,6 +155,9 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 			run, err = &s.run, ie
 		}
 	}()
+	// Release fabric resources (process-wide gauges) on every exit path,
+	// including cancellation and recovered invariant violations.
+	defer s.fabric.close()
 	if s.DebugChecks {
 		s.verGlobal = make(map[addr.LineAddr]uint64)
 		s.verNode = make([]map[addr.LineAddr]uint64, len(s.nodes))
@@ -259,8 +260,30 @@ func (s *System) nodeDone(finish event.Cycle) {
 	}
 }
 
+// fabricTraffic counts coherence-fabric messages process-wide by kind,
+// advanced once per completed run (collect) — the fabric's contribution to
+// the observability registry (cgct_fabric_messages_total).
+var fabricBroadcasts, fabricDirects, fabricLocals, fabricDirMessages atomic.Uint64
+
+// FabricTraffic reports process-wide coherence traffic by message kind:
+// bus broadcasts, direct/point-to-point requests, local completions, and
+// directory protocol messages. Counters advance at run completion.
+func FabricTraffic() (broadcasts, directs, locals, dirMessages uint64) {
+	return fabricBroadcasts.Load(), fabricDirects.Load(), fabricLocals.Load(), fabricDirMessages.Load()
+}
+
 // collect folds per-component statistics into the run record.
 func (s *System) collect() {
+	s.fabric.collect(&s.run)
+	var directs, locals uint64
+	for k := range s.run.Directs {
+		directs += s.run.Directs[k]
+		locals += s.run.LocalDones[k]
+	}
+	fabricBroadcasts.Add(s.run.TotalBroadcasts())
+	fabricDirects.Add(directs)
+	fabricLocals.Add(locals)
+	fabricDirMessages.Add(s.run.DirMessages)
 	for _, mc := range s.mcs {
 		s.run.DRAMReads += mc.Stats.Reads
 		s.run.DRAMWrites += mc.Stats.Writes

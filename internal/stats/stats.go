@@ -158,9 +158,29 @@ type Run struct {
 	// sequential stream, without requesting any data.
 	RegionProbes uint64
 
-	// Directory-mode message accounting.
+	// Directory-fabric message accounting.
 	DirMessages uint64 // point-to-point coherence messages
 	ThreeHops   uint64 // requester→home→owner→requester transfers
+	// DirInvalidations counts explicit invalidation messages sent by a
+	// home; DirExtraInvals is the subset wasted on nodes that held no copy
+	// (limited-pointer imprecision, stale records).
+	DirInvalidations uint64
+	DirExtraInvals   uint64
+	// DirFastPaths counts transactions CGCT resolved without the home
+	// pipeline (region-exclusive direct loads and write-backs);
+	// DirRegionNotifies counts region-grant notification messages to
+	// remote RCA holders on full home transactions.
+	DirFastPaths      uint64
+	DirRegionNotifies uint64
+	// Directory storage behaviour (summed over homes; peak is the sum of
+	// per-home peaks).
+	DirEntriesAllocated uint64
+	DirEntriesEvicted   uint64
+	DirPtrOverflows     uint64
+	DirPeakEntries      uint64
+	// DirQueuedCycles accumulates cycles transactions waited for a busy
+	// home pipeline (the directory's serialization bottleneck).
+	DirQueuedCycles uint64
 
 	// SnoopTagLookups counts remote cache-tag lookups caused by
 	// broadcasts (each broadcast probes every other processor's tags).

@@ -36,9 +36,20 @@ func TestCompiledTraceEquivalence(t *testing.T) {
 		seed  = 13
 	)
 	p := workload.Params{Processors: procs, OpsPerProc: ops, Seed: seed}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"snoop", Options{}},
+		{"snoop+cgct", Options{CGCT: true}},
+		{"directory", Options{Directory: true}},
+		{"dir+cgct", Options{CGCT: true, Fabric: "directory"}},
+		{"dir-limited", Options{Directory: true, DirScheme: "limited", DirPointers: 2, DirEntriesPerHome: 1024}},
+	}
 	for _, bench := range workload.Names() {
-		for _, cgctOn := range []bool{false, true} {
-			o := Options{Processors: procs, OpsPerProc: ops, Seed: seed, CGCT: cgctOn}
+		for _, v := range variants {
+			o := v.opts
+			o.Processors, o.OpsPerProc, o.Seed = procs, ops, seed
 			live := runPath(t, o, workload.MustBuild(bench, p), seed)
 			tr, err := trace.Compile(context.Background(), bench, p)
 			if err != nil {
@@ -49,10 +60,10 @@ func TestCompiledTraceEquivalence(t *testing.T) {
 				lf, cf := flatten(live), flatten(compiled)
 				for k, lv := range lf {
 					if cv := cf[k]; cv != lv {
-						t.Errorf("%s cgct=%t: %s = %d compiled, %d live", bench, cgctOn, k, cv, lv)
+						t.Errorf("%s %s: %s = %d compiled, %d live", bench, v.name, k, cv, lv)
 					}
 				}
-				t.Fatalf("%s cgct=%t: compiled trace diverged from live generators", bench, cgctOn)
+				t.Fatalf("%s %s: compiled trace diverged from live generators", bench, v.name)
 			}
 		}
 	}
