@@ -15,6 +15,10 @@
 // allocs/op and bytes/op, plus the trace-generation cost paid once per
 // workload (trace_gen_ns) and how many of the timed iterations were
 // served from the shared compiled-trace cache (trace_cache_hits). The
+// sweep4-* configs measure a ≥4-variant sweep sequentially vs through
+// the batched multi-variant engine, recording the scheduler settings
+// (parallelism, variants_per_decode) and per-iteration wall vs CPU time
+// (wall_ns, cpu_ns) so the scaling curve is visible in the artifact. The
 // JSON schema is the benchResult struct below.
 package main
 
@@ -34,25 +38,51 @@ import (
 )
 
 // benchConfig is one measured configuration, mirroring the BenchmarkSim*
-// benchmarks in the repository's bench_test.go.
+// benchmarks in the repository's bench_test.go. A config with Variants
+// set is a multi-variant sweep over one workload, executed through the
+// batched engine (cgct.RunAll) at the given scheduler settings — or
+// strictly sequentially when Parallelism and VariantsPerDecode are both
+// 1, which is the sweep's "before" baseline.
 type benchConfig struct {
 	Name      string
 	Benchmark string
 	Opts      cgct.Options
+
+	Variants          []cgct.Options
+	Parallelism       int
+	VariantsPerDecode int
 }
 
 // opsPerProc matches bench_test.go's benchmarkRun so cgctbench numbers are
 // comparable with `go test -bench BenchmarkSim`.
 const opsPerProc = 60_000
 
+// sweepVariants is the ≥4-variant sweep axis the sweep configs measure:
+// baseline plus CGCT at three region sizes, all replaying the same
+// workload (the paper's Figure 8 sweep shape).
+func sweepVariants() []cgct.Options {
+	return []cgct.Options{
+		{},
+		{CGCT: true, RegionBytes: 256},
+		{CGCT: true, RegionBytes: 512},
+		{CGCT: true, RegionBytes: 1024},
+	}
+}
+
 func configs() []benchConfig {
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4 // the scaling point of record; extra goroutines timeshare on smaller hosts
+	}
 	return []benchConfig{
-		{"baseline-ocean", "ocean", cgct.Options{}},
-		{"cgct-ocean", "ocean", cgct.Options{CGCT: true}},
-		{"baseline-tpcw", "tpc-w", cgct.Options{}},
-		{"cgct-tpcw", "tpc-w", cgct.Options{CGCT: true}},
-		{"cgct-tpch", "tpc-h", cgct.Options{CGCT: true}},
-		{"cgct-16proc-tpcb", "tpc-b", cgct.Options{Processors: 16, CGCT: true}},
+		{Name: "baseline-ocean", Benchmark: "ocean"},
+		{Name: "cgct-ocean", Benchmark: "ocean", Opts: cgct.Options{CGCT: true}},
+		{Name: "baseline-tpcw", Benchmark: "tpc-w"},
+		{Name: "cgct-tpcw", Benchmark: "tpc-w", Opts: cgct.Options{CGCT: true}},
+		{Name: "cgct-tpch", Benchmark: "tpc-h", Opts: cgct.Options{CGCT: true}},
+		{Name: "cgct-16proc-tpcb", Benchmark: "tpc-b", Opts: cgct.Options{Processors: 16, CGCT: true}},
+		{Name: "sweep4-ocean-seq", Benchmark: "ocean", Variants: sweepVariants(), Parallelism: 1, VariantsPerDecode: 1},
+		{Name: "sweep4-ocean-batched", Benchmark: "ocean", Variants: sweepVariants(), Parallelism: par, VariantsPerDecode: 4},
 	}
 }
 
@@ -75,6 +105,17 @@ type benchResult struct {
 	// TraceCacheHits counts timed iterations whose workload came out of
 	// the shared compiled-trace cache instead of being regenerated.
 	TraceCacheHits uint64 `json:"trace_cache_hits"`
+	// Parallelism and VariantsPerDecode record the batched-engine
+	// scheduler settings the config ran at (1/1 = strictly sequential);
+	// Variants is how many machine variants one iteration simulates.
+	Parallelism       int `json:"parallelism"`
+	VariantsPerDecode int `json:"variants_per_decode"`
+	Variants          int `json:"variants"`
+	// WallNs and CPUNs are the per-iteration wall-clock and process CPU
+	// time (getrusage): on a parallel sweep CPUNs/WallNs approaches the
+	// worker count, on a single run they coincide.
+	WallNs int64 `json:"wall_ns"`
+	CPUNs  int64 `json:"cpu_ns"`
 }
 
 type benchFile struct {
@@ -82,6 +123,7 @@ type benchFile struct {
 	GoVersion  string        `json:"go_version"`
 	GOARCH     string        `json:"goarch"`
 	NumCPU     int           `json:"num_cpu"`
+	GoMaxProcs int           `json:"go_max_procs"`
 	OpsPerProc int           `json:"ops_per_proc"`
 	Results    []benchResult `json:"results"`
 }
@@ -141,6 +183,7 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
+	cpuStart := cpuTime()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := run(c, uint64(i+1)); err != nil {
@@ -148,6 +191,7 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 		}
 	}
 	elapsed := time.Since(start)
+	cpu := cpuTime() - cpuStart
 	runtime.ReadMemStats(&after)
 	hits := trace.SharedStats().Hits - hitsBefore
 
@@ -156,18 +200,130 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 		opsPerSec = float64(procs*opsPerProc*iters) / elapsed.Seconds()
 	}
 	return benchResult{
-		Name:           c.Name,
-		Benchmark:      c.Benchmark,
-		CGCT:           c.Opts.CGCT,
-		Processors:     procs,
-		Runs:           iters,
-		NsPerOp:        elapsed.Nanoseconds() / int64(iters),
-		TraceOpsSec:    opsPerSec,
-		AllocsPerOp:    int64((after.Mallocs - before.Mallocs) / uint64(iters)),
-		BytesPerOp:     int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
-		SimCycles:      cycles,
-		TraceGenNs:     genNs,
-		TraceCacheHits: hits,
+		Name:              c.Name,
+		Benchmark:         c.Benchmark,
+		CGCT:              c.Opts.CGCT,
+		Processors:        procs,
+		Runs:              iters,
+		NsPerOp:           elapsed.Nanoseconds() / int64(iters),
+		TraceOpsSec:       opsPerSec,
+		AllocsPerOp:       int64((after.Mallocs - before.Mallocs) / uint64(iters)),
+		BytesPerOp:        int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
+		SimCycles:         cycles,
+		TraceGenNs:        genNs,
+		TraceCacheHits:    hits,
+		Parallelism:       1,
+		VariantsPerDecode: 1,
+		Variants:          1,
+		WallNs:            elapsed.Nanoseconds() / int64(iters),
+		CPUNs:             cpu.Nanoseconds() / int64(iters),
+	}, nil
+}
+
+// runSweep executes one full sweep over c.Variants: strictly
+// sequentially (one Run per variant, each paying its own trace decode)
+// when the scheduler settings are 1/1, through the batched multi-variant
+// engine otherwise. Returns the summed simulated cycles (deterministic
+// per config, so drift between the two paths would be visible).
+func runSweep(c benchConfig, seed uint64) (uint64, error) {
+	var cycles uint64
+	if c.Parallelism <= 1 && c.VariantsPerDecode <= 1 {
+		for _, o := range c.Variants {
+			o.OpsPerProc, o.Seed = opsPerProc, seed
+			res, err := cgct.Run(c.Benchmark, o)
+			if err != nil {
+				return 0, err
+			}
+			cycles += res.Cycles
+		}
+		return cycles, nil
+	}
+	reqs := make([]cgct.RunRequest, len(c.Variants))
+	for i, o := range c.Variants {
+		o.OpsPerProc, o.Seed = opsPerProc, seed
+		reqs[i] = cgct.RunRequest{Benchmark: c.Benchmark, Options: o}
+	}
+	results, err := cgct.RunAll(context.Background(), reqs, cgct.Sched{
+		Parallelism:       c.Parallelism,
+		VariantsPerDecode: c.VariantsPerDecode,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range results {
+		cycles += r.Cycles
+	}
+	return cycles, nil
+}
+
+// measureSweep times iters multi-variant sweeps. Aggregate trace-ops/s
+// counts every variant's replayed ops against the sweep's wall clock —
+// the number the batched engine moves by sharing decodes and running
+// variants in parallel.
+func measureSweep(c benchConfig, iters int) (benchResult, error) {
+	procs := c.Opts.Processors
+	if procs == 0 {
+		procs = 4
+	}
+	genStart := time.Now()
+	if _, err := trace.Compile(context.Background(), c.Benchmark, workload.Params{
+		Processors: procs, OpsPerProc: opsPerProc, Seed: 1,
+	}); err != nil {
+		return benchResult{}, err
+	}
+	genNs := time.Since(genStart).Nanoseconds()
+
+	// Warm-up sweep (one-time costs) + trace-cache prewarm for every seed.
+	cycles, err := runSweep(c, 1)
+	if err != nil {
+		return benchResult{}, err
+	}
+	for i := 0; i < iters; i++ {
+		if _, err := trace.Get(context.Background(), trace.Key{
+			Benchmark: c.Benchmark, Processors: procs,
+			OpsPerProc: opsPerProc, Seed: uint64(i + 1),
+		}); err != nil {
+			return benchResult{}, err
+		}
+	}
+
+	hitsBefore := trace.SharedStats().Hits
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cpuStart := cpuTime()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := runSweep(c, uint64(i+1)); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	cpu := cpuTime() - cpuStart
+	runtime.ReadMemStats(&after)
+	hits := trace.SharedStats().Hits - hitsBefore
+
+	var opsPerSec float64
+	if elapsed > 0 {
+		opsPerSec = float64(procs*opsPerProc*len(c.Variants)*iters) / elapsed.Seconds()
+	}
+	return benchResult{
+		Name:              c.Name,
+		Benchmark:         c.Benchmark,
+		Processors:        procs,
+		Runs:              iters,
+		NsPerOp:           elapsed.Nanoseconds() / int64(iters),
+		TraceOpsSec:       opsPerSec,
+		AllocsPerOp:       int64((after.Mallocs - before.Mallocs) / uint64(iters)),
+		BytesPerOp:        int64((after.TotalAlloc - before.TotalAlloc) / uint64(iters)),
+		SimCycles:         cycles,
+		TraceGenNs:        genNs,
+		TraceCacheHits:    hits,
+		Parallelism:       c.Parallelism,
+		VariantsPerDecode: c.VariantsPerDecode,
+		Variants:          len(c.Variants),
+		WallNs:            elapsed.Nanoseconds() / int64(iters),
+		CPUNs:             cpu.Nanoseconds() / int64(iters),
 	}, nil
 }
 
@@ -180,8 +336,8 @@ func compare(baselinePath string, results []benchResult) {
 		fmt.Fprintf(os.Stderr, "cgctbench: baseline unavailable: %v\n", err)
 		return
 	}
-	var base benchFile
-	if err := json.Unmarshal(data, &base); err != nil {
+	base, err := loadBaseline(data)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cgctbench: baseline unreadable: %v\n", err)
 		return
 	}
@@ -189,6 +345,20 @@ func compare(baselinePath string, results []benchResult) {
 	for _, line := range compareLines(results, base.Results) {
 		fmt.Println(line)
 	}
+}
+
+// loadBaseline parses a bench JSON schema-tolerantly: columns the
+// baseline has that this binary doesn't know are ignored, and columns
+// this binary expects that the baseline predates decode to zeros (which
+// compareLines already renders as "(no baseline)" rather than NaN%). A
+// baseline written by an older or newer cgctbench therefore never breaks
+// the bench-compare job — only actually malformed JSON errors.
+func loadBaseline(data []byte) (benchFile, error) {
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return benchFile{}, err
+	}
+	return base, nil
 }
 
 // compareLines renders one delta line per result against the baseline by
@@ -237,20 +407,27 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		OpsPerProc: opsPerProc,
 	}
 	for _, c := range configs() {
 		if *config != "" && c.Name != *config {
 			continue
 		}
-		res, err := measure(c, *benchtime)
+		var res benchResult
+		var err error
+		if len(c.Variants) > 0 {
+			res, err = measureSweep(c, *benchtime)
+		} else {
+			res, err = measure(c, *benchtime)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cgctbench %s: %v\n", c.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-18s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op  (trace gen %d ms, %d cache hits)\n",
+		fmt.Printf("%-20s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op  (par %d, vpd %d, cpu/wall %.2f)\n",
 			res.Name, res.TraceOpsSec, res.AllocsPerOp, res.NsPerOp,
-			res.TraceGenNs/1e6, res.TraceCacheHits)
+			res.Parallelism, res.VariantsPerDecode, float64(res.CPUNs)/float64(res.WallNs))
 		file.Results = append(file.Results, res)
 	}
 	if len(file.Results) == 0 {

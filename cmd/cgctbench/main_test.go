@@ -58,3 +58,57 @@ func TestCompareLinesNaNResult(t *testing.T) {
 		t.Fatalf("NaN measurement not suppressed: %v", lines)
 	}
 }
+
+// TestBaselineSchemaTolerance: -baseline must keep working across bench
+// schema changes in either direction — a baseline from an older cgctbench
+// (missing today's columns) and one from a newer cgctbench (columns this
+// binary has never heard of) both load and compare without error or
+// non-finite output.
+func TestBaselineSchemaTolerance(t *testing.T) {
+	results := []benchResult{
+		{Name: "cgct-ocean", TraceOpsSec: 150, AllocsPerOp: 10},
+		{Name: "sweep4-ocean-batched", TraceOpsSec: 600, Parallelism: 4, VariantsPerDecode: 4},
+	}
+	cases := map[string]struct {
+		json      string
+		wantDelta bool // the cgct-ocean line carries a finite % delta
+	}{
+		"old schema, missing new columns": {
+			json: `{"generated":"2025-01-01T00:00:00Z","num_cpu":1,"results":[
+				{"name":"cgct-ocean","trace_ops_per_sec":100,"allocs_per_op":13}]}`,
+			wantDelta: true,
+		},
+		"future schema, unknown columns": {
+			json: `{"generated":"2027-01-01T00:00:00Z","quantum_cores":9,"results":[
+				{"name":"cgct-ocean","trace_ops_per_sec":100,"allocs_per_op":13,"warp_factor":7},
+				{"name":"sweep4-ocean-batched","trace_ops_per_sec":300,"parallelism":8}]}`,
+			wantDelta: true,
+		},
+		"empty results": {
+			json:      `{"generated":"x"}`,
+			wantDelta: false,
+		},
+	}
+	for name, tc := range cases {
+		base, err := loadBaseline([]byte(tc.json))
+		if err != nil {
+			t.Fatalf("%s: loadBaseline: %v", name, err)
+		}
+		lines := compareLines(results, base.Results)
+		if len(lines) != len(results) {
+			t.Fatalf("%s: got %d lines for %d results", name, len(lines), len(results))
+		}
+		for _, line := range lines {
+			if strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+				t.Errorf("%s: non-finite delta leaked: %q", name, line)
+			}
+		}
+		hasDelta := strings.Contains(lines[0], "+50.0%")
+		if hasDelta != tc.wantDelta {
+			t.Errorf("%s: cgct-ocean delta present=%v, want %v (%q)", name, hasDelta, tc.wantDelta, lines[0])
+		}
+	}
+	if _, err := loadBaseline([]byte(`{"results": [`)); err == nil {
+		t.Error("malformed JSON did not error")
+	}
+}

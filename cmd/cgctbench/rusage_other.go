@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "time"
+
+// cpuTime is unavailable off unix; cpu_ns reports 0 rather than guessing.
+func cpuTime() time.Duration { return 0 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package main
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative user+system CPU time. On a
+// parallel sweep CPU time keeps counting on every worker while the wall
+// clock doesn't — the cpu_ns/wall_ns ratio is the realised parallelism.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -66,23 +66,44 @@ type runner struct {
 	p     Params
 	cache *runcache.Cache[*cgct.Result]
 	run   func(k runKey) (*cgct.Result, error) // swappable in tests
+	// batch executes many keys through the batched multi-variant engine
+	// (cgct.RunAll): same-workload variants share one trace decode in
+	// lockstep, batches spread over p.Parallel workers. nil falls back to
+	// per-key run calls (tests that stub run).
+	batch func(keys []runKey) ([]*cgct.Result, error)
 }
 
 func newRunner(p Params) *runner {
 	r := &runner{p: p, cache: runcache.New[*cgct.Result](0, p.Parallel)}
 	r.run = r.simulate
+	r.batch = r.simulateBatch
 	return r
 }
 
-func (r *runner) simulate(k runKey) (*cgct.Result, error) {
-	return cgct.Run(k.bench, cgct.Options{
+// options maps a run key to the public API options. get and prefetchAll
+// must agree on this mapping exactly: the batched path and the per-key
+// path fill the same cache entries.
+func (r *runner) options(k runKey) cgct.Options {
+	return cgct.Options{
 		OpsPerProc:    r.p.OpsPerProc,
 		Seed:          k.seed,
 		CGCT:          k.cgctOn,
 		RegionBytes:   k.region,
 		RCASets:       k.rcaSets,
 		PerturbCycles: 40, // Alameldeen-style perturbation for CIs
-	})
+	}
+}
+
+func (r *runner) simulate(k runKey) (*cgct.Result, error) {
+	return cgct.Run(k.bench, r.options(k))
+}
+
+func (r *runner) simulateBatch(keys []runKey) ([]*cgct.Result, error) {
+	reqs := make([]cgct.RunRequest, len(keys))
+	for i, k := range keys {
+		reqs[i] = cgct.RunRequest{Benchmark: k.bench, Options: r.options(k)}
+	}
+	return cgct.RunAll(context.Background(), reqs, cgct.Sched{Parallelism: r.p.Parallel})
 }
 
 // get runs (or fetches) one simulation.
@@ -96,34 +117,58 @@ func (r *runner) get(k runKey) *cgct.Result {
 	return res
 }
 
-// prefetchAll warms the cache for a set of keys, at most p.Parallel
-// simulations at a time. The cache's own worker pool bounds the compute,
-// but a goroutine per key still costs a stack each when a figure asks for
-// hundreds of runs; a fixed-size worker loop keeps the fan-out flat.
+// prefetchAll warms the cache for a set of keys through the batched
+// multi-variant engine: every key missing from the cache is submitted to
+// cgct.RunAll in one sweep, so variants of the same (benchmark, seed)
+// workload run in lockstep over a single trace decode and batches spread
+// across p.Parallel workers. Results land in the same singleflight cache
+// get() reads, so the figure code is unchanged.
 func (r *runner) prefetchAll(keys []runKey) {
-	workers := r.p.Parallel
-	if workers > len(keys) {
-		workers = len(keys)
+	seen := make(map[runKey]bool, len(keys))
+	var want []runKey
+	for _, k := range keys {
+		if !seen[k] && !r.cache.Contains(k.String()) {
+			seen[k] = true
+			want = append(want, k)
+		}
 	}
-	if workers <= 0 {
+	if len(want) == 0 {
 		return
 	}
-	next := make(chan runKey)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer wg.Done()
-			for k := range next {
-				r.get(k)
-			}
-		}()
+	if r.batch == nil {
+		// Stubbed runner (tests): fall back to a bounded worker pool of
+		// per-key get() calls.
+		workers := min(r.p.Parallel, len(want))
+		next := make(chan runKey)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				for k := range next {
+					r.get(k)
+				}
+			}()
+		}
+		for _, k := range want {
+			next <- k
+		}
+		close(next)
+		wg.Wait()
+		return
 	}
-	for _, k := range keys {
-		next <- k
+	results, err := r.batch(want)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // static inputs; cannot fail
 	}
-	close(next)
-	wg.Wait()
+	for i, k := range want {
+		res := results[i]
+		// Seed the singleflight cache; a racing get() either computed it
+		// first (identical by determinism) or reads this entry.
+		r.cache.Do(context.Background(), k.String(), func(context.Context) (*cgct.Result, error) {
+			return res, nil
+		})
+	}
 }
 
 func mean(xs []float64) float64 {

@@ -1,6 +1,10 @@
 package experiments
 
-import "cgct"
+import (
+	"context"
+
+	"cgct"
+)
 
 // FabricRow compares the three coherence fabrics on one benchmark: the
 // snooping baseline, CGCT (512 B regions), and a full-map directory — the
@@ -34,21 +38,26 @@ func Fabric(p Params, processorCounts []int) []FabricRow {
 	if len(processorCounts) == 0 {
 		processorCounts = []int{4, 16}
 	}
-	run := func(b string, procs int, seed uint64, mut func(*cgct.Options)) *cgct.Result {
-		o := cgct.Options{
+	// The five fabric variants of one (benchmark, procs, seed) workload are
+	// an ideal lockstep batch: RunVariants replays them over a single
+	// decode pass of the shared compiled trace.
+	run := func(b string, procs int, seed uint64) [5]*cgct.Result {
+		base := cgct.Options{
 			OpsPerProc:    p.OpsPerProc,
 			Seed:          seed,
 			Processors:    procs,
 			PerturbCycles: 40,
 		}
-		if mut != nil {
-			mut(&o)
-		}
-		res, err := cgct.Run(b, o)
+		variants := [5]cgct.Options{base, base, base, base, base}
+		variants[1].CGCT, variants[1].RegionBytes = true, 512
+		variants[2].RegionScout, variants[2].RegionBytes = true, 512
+		variants[3].Directory = true
+		variants[4].Directory, variants[4].CGCT, variants[4].RegionBytes = true, true, 512
+		res, err := cgct.RunVariants(context.Background(), b, variants[:])
 		if err != nil {
 			panic(err)
 		}
-		return res
+		return [5]*cgct.Result{res[0], res[1], res[2], res[3], res[4]}
 	}
 	var rows []FabricRow
 	for _, procs := range processorCounts {
@@ -56,15 +65,8 @@ func Fabric(p Params, processorCounts []int) []FabricRow {
 			var cg, sc, dir, dirCG []float64
 			var cgC2C, threeHop, baseB, cgB, dirMsg, dirCGMsg, fastPaths uint64
 			for _, s := range p.Seeds {
-				base := run(b, procs, s, nil)
-				c := run(b, procs, s, func(o *cgct.Options) { o.CGCT = true; o.RegionBytes = 512 })
-				rs := run(b, procs, s, func(o *cgct.Options) { o.RegionScout = true; o.RegionBytes = 512 })
-				d := run(b, procs, s, func(o *cgct.Options) { o.Directory = true })
-				dc := run(b, procs, s, func(o *cgct.Options) {
-					o.Directory = true
-					o.CGCT = true
-					o.RegionBytes = 512
-				})
+				rs5 := run(b, procs, s)
+				base, c, rs, d, dc := rs5[0], rs5[1], rs5[2], rs5[3], rs5[4]
 				red := func(r *cgct.Result) float64 {
 					return 100 * (float64(base.Cycles) - float64(r.Cycles)) / float64(base.Cycles)
 				}

@@ -469,6 +469,8 @@ func (m *Manager) initMetrics() {
 	}
 	r.GaugeFunc("cgct_directory_entries", "live directory entries process-wide",
 		func() float64 { return float64(directory.LiveEntries()) })
+	r.GaugeFunc("cgct_parallel_runs_inflight", "simulator instances currently executing under the batched multi-variant engine",
+		func() float64 { return float64(sim.RunsInflight()) })
 }
 
 // countState counts retained job records in one lifecycle state.
@@ -918,6 +920,11 @@ type Metrics struct {
 	FabricMessages   map[string]uint64 `json:"fabric_messages"`
 	DirectoryEntries uint64            `json:"directory_entries"`
 
+	// ParallelRunsInflight is the number of simulator instances currently
+	// executing under the batched multi-variant engine (lockstep batches
+	// on scheduler workers), process-wide.
+	ParallelRunsInflight uint64 `json:"parallel_runs_inflight"`
+
 	Draining bool `json:"draining"`
 }
 
@@ -957,6 +964,7 @@ func (m *Manager) Metrics() Metrics {
 	b, d, l, dm := sim.FabricTraffic()
 	out.FabricMessages = map[string]uint64{"broadcast": b, "direct": d, "local": l, "directory": dm}
 	out.DirectoryEntries = directory.LiveEntries()
+	out.ParallelRunsInflight = sim.RunsInflight()
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
 	return out
 }

@@ -94,6 +94,8 @@ func TestPrometheusAgreesWithJSON(t *testing.T) {
 		`cgct_fabric_messages_total{kind="local"}`:     float64(jsonM.FabricMessages["local"]),
 		`cgct_fabric_messages_total{kind="directory"}`: float64(jsonM.FabricMessages["directory"]),
 		"cgct_directory_entries":                       float64(jsonM.DirectoryEntries),
+		"cgct_batch_decode_shares_total":               float64(jsonM.TraceCache.DecodeShares),
+		"cgct_parallel_runs_inflight":                  float64(jsonM.ParallelRunsInflight),
 	}
 	for series, v := range want {
 		got, ok := prom[series]

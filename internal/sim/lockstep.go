@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"cgct/internal/coherence"
+	"cgct/internal/faultinject"
+	"cgct/internal/stats"
+)
+
+// lockstepSliceChunks is how many progressChunkEvents-sized chunks one
+// system executes per lockstep turn before the driver rotates to the
+// next. Small enough that systems sharing a trace fan-out stay within a
+// few decode blocks of each other (the shared window stays LLC-hot),
+// large enough that turn overhead is invisible.
+const lockstepSliceChunks = 4
+
+// runsInflight gauges how many simulator instances are currently
+// executing under the batched multi-variant engine (RunLockstep),
+// process-wide. Exposed as cgct_parallel_runs_inflight.
+var runsInflight atomic.Int64
+
+// RunsInflight returns the number of simulators currently executing
+// under RunLockstep, process-wide.
+func RunsInflight() uint64 {
+	v := runsInflight.Load()
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// RunLockstep executes the given systems to completion on the calling
+// goroutine, interleaving them in bounded time slices. Because systems
+// share no mutable simulation state, each one's result is bit-identical
+// to a solo RunContext — lockstep exists so systems replaying the same
+// workload through a trace.Fanout consume the decode window together
+// instead of each paying a full decode pass.
+//
+// Semantics match RunContext per system: invariant violations (with
+// DebugChecks set and PanicOnViolation unset) come back as the error,
+// cancellation returns ctx.Err(), and fabric resources are released on
+// every exit path. On any error the batch aborts and callers must treat
+// the results as absent. Each system must be fresh (not yet run).
+func RunLockstep(ctx context.Context, systems []*System) ([]*stats.Run, error) {
+	runs := make([]*stats.Run, len(systems))
+	finished := make([]bool, len(systems))
+	progress := ProgressFrom(ctx)
+	done := ctx.Done()
+	runsInflight.Add(int64(len(systems)))
+	defer func() {
+		for i, s := range systems {
+			if !finished[i] {
+				s.fabric.close()
+				runsInflight.Add(-1)
+			}
+		}
+	}()
+	for _, s := range systems {
+		s.start()
+	}
+	remaining := len(systems)
+	for remaining > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
+			return nil, ferr
+		}
+		for i, s := range systems {
+			if finished[i] {
+				continue
+			}
+			fin, err := s.lockstepTurn(progress)
+			if fin {
+				finished[i] = true
+				runs[i] = &s.run
+				remaining--
+				runsInflight.Add(-1)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return runs, nil
+}
+
+// lockstepTurn advances the system by one time slice, converting
+// invariant-violation panics exactly as RunContext does. It reports
+// completion (including completion-by-violation, with the violation as
+// the error); the fabric is closed before a completed turn returns.
+func (s *System) lockstepTurn(progress *Progress) (fin bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ie, ok := r.(*coherence.InvariantError)
+			if !ok || s.PanicOnViolation {
+				panic(r)
+			}
+			s.fabric.close()
+			fin, err = true, ie
+		}
+	}()
+	for c := 0; c < lockstepSliceChunks; c++ {
+		n, finished := s.stepChunk()
+		eventsTotal.Add(uint64(n))
+		if progress != nil {
+			progress.events.Add(uint64(n))
+		}
+		if finished {
+			s.fabric.close()
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cgct/internal/config"
+	"cgct/internal/stats"
+)
+
+// lockstepConfigs is a mixed batch: baseline snoop, CGCT, and the
+// directory fabric, all over the same workload.
+func lockstepConfigs() []config.Config {
+	dir := config.Default()
+	dir.Fabric = config.FabricDirectory
+	dir.Directory = config.DirectoryParams{Scheme: config.DirSchemeFullMap}
+	return []config.Config{config.Default(), config.Default().WithCGCT(512), dir}
+}
+
+// TestLockstepMatchesSequential: interleaving systems in lockstep must
+// leave every per-system result bit-identical to running it alone.
+func TestLockstepMatchesSequential(t *testing.T) {
+	cfgs := lockstepConfigs()
+	const procs, ops, seed = 4, 10_000, 3
+	want := make([]*stats.Run, len(cfgs))
+	for i, cfg := range cfgs {
+		s := MustNew(cfg, testWorkload(t, "ocean", procs, ops, seed), seed)
+		want[i] = s.Run()
+	}
+	systems := make([]*System, len(cfgs))
+	for i, cfg := range cfgs {
+		systems[i] = MustNew(cfg, testWorkload(t, "ocean", procs, ops, seed), seed)
+	}
+	runs, err := RunLockstep(context.Background(), systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range runs {
+		if !reflect.DeepEqual(r, want[i]) {
+			t.Fatalf("system %d diverged under lockstep:\nlockstep   %+v\nsequential %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestLockstepSingle: a one-system batch is just RunContext.
+func TestLockstepSingle(t *testing.T) {
+	const procs, ops, seed = 2, 5_000, 9
+	cfg := config.Default().WithCGCT(512)
+	cfg.Topology.Processors = procs
+	solo := MustNew(cfg, testWorkload(t, "tpc-w", procs, ops, seed), seed)
+	want := solo.Run()
+	s := MustNew(cfg, testWorkload(t, "tpc-w", procs, ops, seed), seed)
+	runs, err := RunLockstep(context.Background(), []*System{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runs[0], want) {
+		t.Fatal("single-system lockstep diverged from Run")
+	}
+}
+
+// TestLockstepCancelled: a cancelled context aborts the batch with
+// ctx.Err() and no results.
+func TestLockstepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := config.Default()
+	cfg.Topology.Processors = 2
+	s := MustNew(cfg, testWorkload(t, "ocean", 2, 5_000, 1), 1)
+	runs, err := RunLockstep(ctx, []*System{s})
+	if err == nil {
+		t.Fatal("cancelled lockstep returned no error")
+	}
+	if runs != nil {
+		t.Fatal("cancelled lockstep returned results")
+	}
+}
+
+// TestLockstepProgress: lockstep feeds the shared Progress counter like
+// RunContext does.
+func TestLockstepProgress(t *testing.T) {
+	var p Progress
+	ctx := WithProgress(context.Background(), &p)
+	cfg := config.Default()
+	cfg.Topology.Processors = 2
+	s := MustNew(cfg, testWorkload(t, "ocean", 2, 3_000, 2), 2)
+	if _, err := RunLockstep(ctx, []*System{s}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Events() == 0 {
+		t.Fatal("lockstep did not advance the progress counter")
+	}
+	if RunsInflight() != 0 {
+		t.Fatalf("runs-inflight gauge did not drain: %d", RunsInflight())
+	}
+}

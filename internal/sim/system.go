@@ -158,6 +158,37 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 	// Release fabric resources (process-wide gauges) on every exit path,
 	// including cancellation and recovered invariant violations.
 	defer s.fabric.close()
+	s.start()
+	done := ctx.Done()
+	progress := ProgressFrom(ctx)
+	for {
+		if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
+			return &s.run, ferr
+		}
+		for chunk := 0; chunk < cancelCheckEvents/progressChunkEvents; chunk++ {
+			n, finished := s.stepChunk()
+			eventsTotal.Add(uint64(n))
+			if progress != nil {
+				progress.events.Add(uint64(n))
+			}
+			if finished {
+				return &s.run, nil
+			}
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return &s.run, ctx.Err()
+			default:
+			}
+		}
+	}
+}
+
+// start arms the system for execution: debug-check state, the initial
+// per-node events, and the DMA agent. Exactly one of RunContext or a
+// lockstep driver calls it, once.
+func (s *System) start() {
 	if s.DebugChecks {
 		s.verGlobal = make(map[addr.LineAddr]uint64)
 		s.verNode = make([]map[addr.LineAddr]uint64, len(s.nodes))
@@ -171,36 +202,20 @@ func (s *System) RunContext(ctx context.Context) (run *stats.Run, err error) {
 	if s.dma != nil {
 		s.dma.start()
 	}
-	done := ctx.Done()
-	progress := ProgressFrom(ctx)
-	for {
-		if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
-			return &s.run, ferr
-		}
-		for chunk := 0; chunk < cancelCheckEvents/progressChunkEvents; chunk++ {
-			for i := 0; i < progressChunkEvents; i++ {
-				if !s.queue.Step() {
-					s.collect()
-					eventsTotal.Add(uint64(i))
-					if progress != nil {
-						progress.events.Add(uint64(i))
-					}
-					return &s.run, nil
-				}
-			}
-			eventsTotal.Add(progressChunkEvents)
-			if progress != nil {
-				progress.events.Add(progressChunkEvents)
-			}
-		}
-		if done != nil {
-			select {
-			case <-done:
-				return &s.run, ctx.Err()
-			default:
-			}
+}
+
+// stepChunk executes up to progressChunkEvents events and returns how
+// many ran, plus whether the run completed (statistics collected). It is
+// the resumable primitive RunContext and RunLockstep batch their
+// progress/cancellation bookkeeping around.
+func (s *System) stepChunk() (executed int, finished bool) {
+	for i := 0; i < progressChunkEvents; i++ {
+		if !s.queue.Step() {
+			s.collect()
+			return i, true
 		}
 	}
+	return progressChunkEvents, false
 }
 
 // eventsTotal counts simulated events executed process-wide across every

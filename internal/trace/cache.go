@@ -85,15 +85,17 @@ func Get(ctx context.Context, k Key) (*Trace, error) {
 
 // Stats reports shared-cache behaviour: singleflight hits, misses,
 // evictions, resident entries and bytes, plus the number of trace
-// compilations actually performed process-wide.
+// compilations actually performed process-wide and the decoded blocks
+// that batched (lockstep) replay shared across variants.
 type Stats struct {
 	runcache.Stats
 	Compilations uint64 `json:"compilations"`
+	DecodeShares uint64 `json:"decode_shares"`
 }
 
 // SharedStats snapshots the shared cache.
 func SharedStats() Stats {
-	return Stats{Stats: shared.Stats(), Compilations: compilations.Load()}
+	return Stats{Stats: shared.Stats(), Compilations: compilations.Load(), DecodeShares: decodeShares.Load()}
 }
 
 // RegisterMetrics registers the process-wide compiled-trace cache into
@@ -105,4 +107,6 @@ func RegisterMetrics(reg *metrics.Registry) {
 	shared.RegisterMetrics(reg, "cgct_trace_cache")
 	reg.CounterFunc("cgct_trace_compilations_total", "workload trace compilations performed process-wide",
 		func() float64 { return float64(compilations.Load()) })
+	reg.CounterFunc("cgct_batch_decode_shares_total", "decoded trace blocks served to additional lockstep consumers without re-decoding",
+		func() float64 { return float64(decodeShares.Load()) })
 }

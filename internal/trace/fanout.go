@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cgct/internal/workload"
+)
+
+// fanoutBlockOps is the decode granularity of a Fanout: one consumer's
+// cursor reaching an undecoded block decodes this many ops once, and
+// every other consumer replays the same immutable block. Small enough
+// that the live window (one block per ~lockstep slice) stays cache-hot,
+// large enough that the per-block lock is off the per-op path.
+const fanoutBlockOps = 4096
+
+// decodeShares counts, process-wide, the decoded trace blocks that were
+// served to an additional lockstep consumer without being re-decoded —
+// the work a Fanout saved versus per-variant cursors. Exposed through
+// Stats.DecodeShares and cgct_batch_decode_shares_total.
+var decodeShares atomic.Uint64
+
+// DecodeShares returns the process-wide count of decoded blocks shared
+// with additional consumers by trace fan-outs.
+func DecodeShares() uint64 { return decodeShares.Load() }
+
+// Fanout shares one decode pass of a compiled trace among a fixed number
+// of consumers. Each consumer gets its own workload.Workload (fresh
+// per-proc Sources) from Workloads; all of them replay the identical op
+// stream, but the varint columns are decoded into block buffers exactly
+// once. Blocks are retained until every consumer has replayed them and
+// then recycled, so the resident window is proportional to the
+// consumers' skew, not the trace length.
+//
+// Fanout is safe for concurrent use by its consumers; the lock is taken
+// only on block transitions (every fanoutBlockOps ops), never per op.
+type Fanout struct {
+	t     *Trace
+	n     int
+	procs []procFanout
+}
+
+// NewFanout prepares a shared decode of t for exactly consumers readers.
+// Each of the consumers must drain (or abandon) its workload; blocks are
+// recycled as the slowest consumer moves past them.
+func NewFanout(t *Trace, consumers int) *Fanout {
+	f := &Fanout{t: t, n: consumers, procs: make([]procFanout, len(t.Procs))}
+	for i := range f.procs {
+		f.procs[i].init(&t.Procs[i], consumers)
+	}
+	return f
+}
+
+// Workloads returns one workload per consumer, each with fresh cursors
+// over the shared decode. Call it once; the block refcounts assume
+// exactly NewFanout's consumer count of cursors per proc stream.
+func (f *Fanout) Workloads() []workload.Workload {
+	out := make([]workload.Workload, f.n)
+	for c := range out {
+		srcs := make([]workload.Source, len(f.procs))
+		for i := range f.procs {
+			srcs[i] = &fanoutCursor{p: &f.procs[i]}
+		}
+		out[c] = workload.Workload{Name: f.t.Name, Sources: srcs, DMATargets: f.t.DMATargets}
+	}
+	return out
+}
+
+// residentBlocks reports how many decoded blocks are currently retained
+// across all proc streams (tests: the lockstep window must stay small
+// and drain to zero).
+func (f *Fanout) residentBlocks() int {
+	n := 0
+	for i := range f.procs {
+		p := &f.procs[i]
+		p.mu.Lock()
+		n += len(p.blocks)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// fanoutBlock is one decoded span of ops plus the number of consumers
+// that have not yet replayed past it.
+type fanoutBlock struct {
+	ops     []workload.Op
+	pending int
+	served  int // consumers that have acquired it (first serve = the decode)
+}
+
+// procFanout shares one ProcTrace's decode among the consumers.
+type procFanout struct {
+	mu        sync.Mutex
+	dec       Cursor // sequential decoder, always at block boundary `next`
+	consumers int
+	blocks    map[int]*fanoutBlock
+	next      int // index of the first undecoded block
+	eof       bool
+	free      [][]workload.Op // recycled block storage
+}
+
+func (p *procFanout) init(t *ProcTrace, consumers int) {
+	p.dec = Cursor{t: t}
+	p.consumers = consumers
+	p.blocks = make(map[int]*fanoutBlock)
+}
+
+// acquire returns block idx, decoding forward as needed, or nil once the
+// trace is exhausted before idx. Each consumer acquires each index at
+// most once (enforced by the cursor's sequential walk).
+func (p *procFanout) acquire(idx int) *fanoutBlock {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for idx >= p.next && !p.eof {
+		var buf []workload.Op
+		if n := len(p.free); n > 0 {
+			buf, p.free = p.free[n-1][:fanoutBlockOps], p.free[:n-1]
+		} else {
+			buf = make([]workload.Op, fanoutBlockOps)
+		}
+		n := p.dec.Fill(buf)
+		if n < fanoutBlockOps {
+			p.eof = true
+		}
+		if n == 0 {
+			p.free = append(p.free, buf)
+			break
+		}
+		p.blocks[p.next] = &fanoutBlock{ops: buf[:n], pending: p.consumers}
+		p.next++
+	}
+	b := p.blocks[idx]
+	if b != nil {
+		b.served++
+		if b.served > 1 {
+			decodeShares.Add(1)
+		}
+	}
+	return b
+}
+
+// release marks one consumer done with block idx; the last release
+// recycles the block's storage.
+func (p *procFanout) release(idx int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.blocks[idx]
+	b.pending--
+	if b.pending == 0 {
+		delete(p.blocks, idx)
+		p.free = append(p.free, b.ops[:cap(b.ops)])
+	}
+}
+
+// fanoutCursor is one consumer's workload.Source over a shared decode:
+// it walks the block sequence in order, copying from the immutable
+// published blocks, and releases each block as it moves past it.
+type fanoutCursor struct {
+	p    *procFanout
+	idx  int           // index of the block cur slices into
+	cur  []workload.Op // unread remainder of the current block
+	have bool          // holding (not yet released) block idx
+}
+
+// Fill implements workload.Source.
+func (c *fanoutCursor) Fill(dst []workload.Op) int {
+	n := 0
+	for n < len(dst) {
+		if len(c.cur) == 0 {
+			if c.have {
+				c.p.release(c.idx)
+				c.have = false
+				c.idx++
+			}
+			b := c.p.acquire(c.idx)
+			if b == nil {
+				break
+			}
+			c.cur, c.have = b.ops, true
+		}
+		m := copy(dst[n:], c.cur)
+		c.cur = c.cur[m:]
+		n += m
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cgct/internal/workload"
+)
+
+func compileTest(t *testing.T, procs, ops int) *Trace {
+	t.Helper()
+	tr, err := Compile(context.Background(), "ocean", workload.Params{Processors: procs, OpsPerProc: ops, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// drain collects a source's full op stream using a varying refill size,
+// exercising fills that straddle block boundaries.
+func drain(src workload.Source, sizes []int) []workload.Op {
+	var out []workload.Op
+	buf := make([]workload.Op, 512)
+	for i := 0; ; i++ {
+		n := src.Fill(buf[:sizes[i%len(sizes)]])
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+// TestFanoutMatchesCursor: every fan-out consumer must observe exactly
+// the stream a plain per-variant cursor decodes, regardless of the Fill
+// sizes it uses.
+func TestFanoutMatchesCursor(t *testing.T) {
+	tr := compileTest(t, 3, fanoutBlockOps+513) // straddles a block boundary
+	f := NewFanout(tr, 3)
+	ws := f.Workloads()
+	fillSizes := [][]int{{128}, {1, 7, 511}, {512, 3}}
+	for p := range tr.Procs {
+		want := drain(tr.Procs[p].Cursor(), []int{128})
+		for c, w := range ws {
+			got := drain(w.Source(p), fillSizes[c])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("proc %d consumer %d: fan-out stream diverged from cursor (%d vs %d ops)", p, c, len(got), len(want))
+			}
+		}
+	}
+	if n := f.residentBlocks(); n != 0 {
+		t.Fatalf("fan-out retained %d blocks after all consumers drained", n)
+	}
+}
+
+// TestFanoutConcurrentConsumers: consumers on separate goroutines (the
+// scheduler may rotate batches across workers under -race) still each
+// see the exact stream, and all blocks are recycled.
+func TestFanoutConcurrentConsumers(t *testing.T) {
+	tr := compileTest(t, 2, 2*fanoutBlockOps+99)
+	const consumers = 4
+	f := NewFanout(tr, consumers)
+	ws := f.Workloads()
+	want := make([][]workload.Op, len(tr.Procs))
+	for p := range tr.Procs {
+		want[p] = drain(tr.Procs[p].Cursor(), []int{256})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for p := range tr.Procs {
+				got := drain(ws[c].Source(p), []int{1 + c, 300 + 7*c})
+				if !reflect.DeepEqual(got, want[p]) {
+					errs <- "consumer stream diverged"
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if n := f.residentBlocks(); n != 0 {
+		t.Fatalf("fan-out retained %d blocks after concurrent drain", n)
+	}
+}
+
+// TestFanoutDecodeShares: sharing K consumers over one decode must be
+// visible in the process-wide decode-shares counter — (K-1) shares per
+// decoded block.
+func TestFanoutDecodeShares(t *testing.T) {
+	tr := compileTest(t, 1, 3*fanoutBlockOps)
+	const consumers = 3
+	before := DecodeShares()
+	f := NewFanout(tr, consumers)
+	for _, w := range f.Workloads() {
+		drain(w.Source(0), []int{512})
+	}
+	blocks := (tr.Procs[0].Len() + fanoutBlockOps - 1) / fanoutBlockOps
+	want := uint64(blocks * (consumers - 1))
+	if got := DecodeShares() - before; got != want {
+		t.Fatalf("decode shares: got %d, want %d", got, want)
+	}
+	if SharedStats().DecodeShares < want {
+		t.Fatal("SharedStats does not expose decode shares")
+	}
+}
