@@ -6,6 +6,8 @@
 // Usage:
 //
 //	cgctserve -addr :8080 -workers 8 -queue 64 -cache 1024
+//	cgctserve -store /var/lib/cgct   # crash-safe result/trace spill; warm restarts
+//	cgctserve -self http://a:8080 -peers http://a:8080,http://b:8080
 //	cgctserve -smoke            # self-test: serve, submit, verify, drain
 //
 // API (see README "Running the server" for curl examples):
@@ -14,11 +16,14 @@
 //	GET    /v1/jobs/{id}       job state, queue position, timings
 //	GET    /v1/jobs/{id}/result  full stats JSON
 //	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/results/{key}   result bytes by content address (peer fetching)
+//	GET    /v1/cluster         fleet membership, health and fetch stats
 //	GET    /v1/metrics         queue/worker/cache/latency metrics
 //	GET    /v1/healthz         liveness (503 while draining)
 //
 // On SIGTERM/SIGINT the server stops admitting work (503), drains running
-// jobs up to -drain, then exits.
+// jobs up to -drain — flushing the persistent store so the next boot
+// warm-starts — then exits.
 package main
 
 import (
@@ -37,8 +42,11 @@ import (
 	"time"
 
 	"cgct"
+	"cgct/internal/cluster"
 	"cgct/internal/server"
 	"cgct/internal/server/client"
+	"cgct/internal/store"
+	"cgct/internal/trace"
 )
 
 func main() {
@@ -54,6 +62,9 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		traceOut = flag.String("trace-out", "", "write completed jobs' phase spans as chrome://tracing JSON to this path on shutdown")
 		logFmt   = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+		storeDir = flag.String("store", "", "persistent store directory: results and compiled traces spill here crash-safely and restarts warm-start from it (empty = no persistence)")
+		peersStr = flag.String("peers", "", "comma-separated cluster peer base URLs (http://host:port); empty = standalone")
+		selfURL  = flag.String("self", "", "this node's advertised base URL, required with -peers")
 	)
 	flag.Parse()
 
@@ -79,6 +90,27 @@ func main() {
 		Workers: *workers, QueueCapacity: *queue, CacheEntries: *cache,
 		DefaultTimeout: *timeout, WatchdogStall: *stall, Logger: logger,
 	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgctserve: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Store = st
+		// Compiled traces spill into the same store, so a warm restart
+		// skips trace compilation as well as simulation.
+		trace.SetPersistentStore(st)
+		logger.Info("persistent store open", "dir", st.Dir())
+	}
+	if *peersStr != "" {
+		cl, err := buildCluster(*selfURL, *peersStr, logger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgctserve: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Cluster = cl
+		logger.Info("clustered", "self", cl.Self(), "peers", *peersStr)
+	}
 	if *smoke {
 		if err := runSmoke(opts, *drain, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "smoke: %v\n", err)
@@ -91,6 +123,27 @@ func main() {
 		logger.Error("server exited", "error", err.Error())
 		os.Exit(1)
 	}
+}
+
+// buildCluster validates -self/-peers and assembles the routing layer.
+// Both go through ParsePeers, so a URL that would misroute fetches (path,
+// query, userinfo) dies here at startup, not quietly in production.
+func buildCluster(self, peers string, logger *slog.Logger) (*cluster.Cluster, error) {
+	if self == "" {
+		return nil, errors.New("-peers requires -self (this node's advertised base URL)")
+	}
+	selves, err := cluster.ParsePeers(self)
+	if err != nil {
+		return nil, err
+	}
+	if len(selves) != 1 {
+		return nil, fmt.Errorf("-self %q must be exactly one base URL", self)
+	}
+	peerList, err := cluster.ParsePeers(peers)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{Self: selves[0], Peers: peerList, Logger: logger})
 }
 
 // buildLogger constructs the process logger: structured slog on stderr in

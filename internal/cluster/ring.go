@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// ring is a consistent-hash ring over the peer list: each peer owns
+// `replicas` virtual nodes placed by sha256 of "url#i", and a key is
+// owned by the first alive virtual node clockwise from the key's hash.
+// Consistent hashing keeps ownership stable as peers come and go — when
+// a peer is evicted, only its keys move (to the next alive peer on the
+// ring), so a flapping peer cannot reshuffle the whole fleet's cache
+// placement.
+type ring struct {
+	mu       sync.RWMutex
+	replicas int
+	vnodes   []vnode         // sorted by hash
+	alive    map[string]bool // peer URL → health
+}
+
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+// hashPoint places a string on the ring. sha256 (not a fast
+// non-cryptographic hash) so placement matches the content addresses
+// keys already use and cannot be engineered into hot spots.
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring over peers (deduplicated), all initially
+// alive.
+func newRing(peers []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &ring{replicas: replicas, alive: make(map[string]bool)}
+	for _, p := range peers {
+		if r.alive[p] {
+			continue // duplicate peer: one membership, one set of vnodes
+		}
+		r.alive[p] = true
+		for i := 0; i < replicas; i++ {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			r.vnodes = append(r.vnodes, vnode{hash: hashPoint(p + "#" + string(buf[:])), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].peer < r.vnodes[j].peer // total order: ties cannot flap
+	})
+	return r
+}
+
+// owner returns the alive peer owning key, walking clockwise past dead
+// peers' vnodes. ok is false when every peer is down.
+func (r *ring) owner(key string) (string, bool) {
+	h := hashPoint(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.vnodes)
+	if n == 0 {
+		return "", false
+	}
+	start := sort.Search(n, func(i int) bool { return r.vnodes[i].hash >= h })
+	for i := 0; i < n; i++ {
+		v := r.vnodes[(start+i)%n]
+		if r.alive[v.peer] {
+			return v.peer, true
+		}
+	}
+	return "", false
+}
+
+// setAlive flips a peer's health, changing which vnodes owner may land
+// on. Unknown peers are ignored (stale probe results after a config
+// change must not grow the membership).
+func (r *ring) setAlive(peer string, alive bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[peer]; ok {
+		r.alive[peer] = alive
+	}
+}
+
+// peers returns the full membership (alive and dead), sorted.
+func (r *ring) peers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.alive))
+	for p := range r.alive {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isAlive reports a peer's current health (false for unknown peers).
+func (r *ring) isAlive(peer string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.alive[peer]
+}

@@ -7,11 +7,14 @@
 // simulator's event loop stays allocation- and branch-free in steady
 // state.
 //
-// The three wired boundaries are:
+// The wired boundaries are:
 //
 //	PointWorker       the job server's worker loop, before compute
 //	PointCacheCompute the result cache's singleflight leader, before the run
 //	PointSimEventLoop the simulator's event loop, once per event batch
+//	PointPeerFetch    the cluster layer, before each peer result fetch
+//	PointStoreWrite   the persistent store, before each disk write
+//	PointStoreRead    the persistent store, before each disk read
 package faultinject
 
 import (
@@ -28,6 +31,9 @@ const (
 	PointWorker       = "server.worker"
 	PointCacheCompute = "runcache.compute"
 	PointSimEventLoop = "sim.eventloop"
+	PointPeerFetch    = "cluster.peerfetch"
+	PointStoreWrite   = "store.write"
+	PointStoreRead    = "store.read"
 )
 
 // Mode selects what an armed point does when it fires.

@@ -140,10 +140,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-time.After(c.retry.backoffDelay(attempt-1, err)):
-			case <-ctx.Done():
-				return ctx.Err()
+			if serr := sleepContext(ctx, c.retry.backoffDelay(attempt-1, err)); serr != nil {
+				return serr
 			}
 		}
 		err = c.doOnce(ctx, method, path, encoded, out)
@@ -152,6 +150,24 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 	}
 	return err
+}
+
+// sleepContext sleeps for d, returning ctx.Err() the moment ctx is
+// cancelled — an already-cancelled context never sleeps at all (a plain
+// two-way select could win the timer case even then), and the timer is
+// stopped on early exit so a long backoff does not outlive its caller.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // doOnce issues exactly one request. encoded is the pre-marshalled body

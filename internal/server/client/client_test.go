@@ -148,6 +148,54 @@ func TestRetryRespectsContextCancellation(t *testing.T) {
 	}
 }
 
+func TestBackoffAbortsOnAlreadyCancelledContext(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	// The context dies during the first attempt's handler turnaround (the
+	// request itself is allowed through via a fresh context race: simplest
+	// deterministic version — cancel before the retry loop ever sleeps).
+	// A plain `select { <-time.After, <-ctx.Done }` can win the timer case
+	// when both are ready; the sleep helper must return ctx.Err() without
+	// sleeping at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepContext(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepContext(cancelled) = %v, want context.Canceled immediately", err)
+	}
+
+	// And through the full retry loop: with a cancelled context the client
+	// must not issue retries or sleep out the minute-long backoff.
+	c := New(srv.URL, nil).WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Minute, MaxDelay: time.Minute})
+	cctx, ccancel := context.WithCancel(context.Background())
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Metrics(cctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the first attempt reach its backoff
+	ccancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retry loop did not abort its backoff on cancellation")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancellation took %v to propagate out of a backoff sleep", el)
+	}
+	if got := hits.Load(); got > 2 {
+		t.Fatalf("server saw %d attempts after cancellation mid-backoff", got)
+	}
+}
+
 func TestBackoffDelayBounds(t *testing.T) {
 	p := fastRetry.withDefaults()
 	for attempt := 0; attempt < 10; attempt++ {

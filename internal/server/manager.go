@@ -17,6 +17,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"cgct"
+	"cgct/internal/cluster"
 	"cgct/internal/directory"
 	"cgct/internal/experiments"
 	"cgct/internal/faultinject"
@@ -33,6 +35,7 @@ import (
 	"cgct/internal/runcache"
 	"cgct/internal/sim"
 	"cgct/internal/stats"
+	"cgct/internal/store"
 	"cgct/internal/trace"
 	"cgct/internal/workload"
 )
@@ -189,6 +192,9 @@ type JobStatus struct {
 	ID    string   `json:"id"`
 	Type  string   `json:"type"`
 	State JobState `json:"state"`
+	// Key is the job's content address (sha256 of the canonical config) —
+	// the handle cluster peers use against GET /v1/results/{key}.
+	Key string `json:"key,omitempty"`
 	// QueuePosition is the number of queued jobs ahead of this one
 	// (present only while queued; 0 = next to run).
 	QueuePosition *int `json:"queue_position,omitempty"`
@@ -208,6 +214,11 @@ type JobStatus struct {
 	// Phases is the job's wall-clock phase breakdown, present once the job
 	// is terminal; span durations sum to ElapsedMs.
 	Phases []PhaseSpan `json:"phases,omitempty"`
+	// ResultSource records where the compute leader's result came from:
+	// "sim" (simulated here), "store" (loaded from the persistent store —
+	// a warm restart or post-eviction reload) or "peer" (fetched from the
+	// owning cluster peer). Empty for cache followers and non-done jobs.
+	ResultSource string `json:"result_source,omitempty"`
 }
 
 // job is the manager-internal job record. Mutable fields are guarded by
@@ -224,15 +235,16 @@ type job struct {
 	// Set by runJob before execution begins.
 	runCtx context.Context
 
-	state       JobState
-	cacheHit    bool
-	errMsg      string
-	failureKind string
-	result      any
-	submitted   time.Time
-	started     time.Time
-	finished    time.Time
-	hasStarted  bool
+	state        JobState
+	cacheHit     bool
+	resultSource string
+	errMsg       string
+	failureKind  string
+	result       any
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	hasStarted   bool
 
 	// Watchdog state, meaningful only while the job is the singleflight
 	// compute leader of a sim run (leading true, progress non-nil).
@@ -311,6 +323,15 @@ type Options struct {
 	// nil discards them — tests and library embedders stay quiet unless
 	// they opt in.
 	Logger *slog.Logger
+	// Store, when set, is the crash-safe persistent store results are
+	// spilled to and warm-started from. The manager takes ownership:
+	// Drain flushes and closes it. nil disables persistence.
+	Store *store.Store
+	// Cluster, when set, is the peer-aware routing/fetching layer: the
+	// compute path asks the key's owning peer for the result before
+	// simulating locally. The manager takes ownership: NewManager starts
+	// its health prober, Drain stops it. nil runs standalone.
+	Cluster *cluster.Cluster
 }
 
 func (o Options) withDefaults() Options {
@@ -412,6 +433,9 @@ func NewManager(o Options) *Manager {
 		m.wg.Add(1)
 		go m.watchdog()
 	}
+	if o.Cluster != nil {
+		o.Cluster.Start()
+	}
 	return m
 }
 
@@ -451,6 +475,12 @@ func (m *Manager) initMetrics() {
 	}
 	m.cache.RegisterMetrics(r, "cgct_result_cache")
 	trace.RegisterMetrics(r)
+	if m.opts.Store != nil {
+		m.opts.Store.RegisterMetrics(r, "cgct_store")
+	}
+	if m.opts.Cluster != nil {
+		m.opts.Cluster.RegisterMetrics(r)
+	}
 	r.CounterFunc("cgct_sim_events_total", "simulated events executed process-wide, batch granularity",
 		func() float64 { return float64(sim.EventsTotal()) })
 	for _, t := range []struct {
@@ -617,13 +647,15 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 // statusLocked renders a job's wire status. Caller holds m.mu.
 func (m *Manager) statusLocked(j *job) JobStatus {
 	st := JobStatus{
-		ID:          j.id,
-		Type:        j.request.Type,
-		State:       j.state,
-		CacheHit:    j.cacheHit,
-		Error:       j.errMsg,
-		FailureKind: j.failureKind,
-		SubmittedAt: j.submitted,
+		ID:           j.id,
+		Type:         j.request.Type,
+		State:        j.state,
+		Key:          j.key,
+		CacheHit:     j.cacheHit,
+		ResultSource: j.resultSource,
+		Error:        j.errMsg,
+		FailureKind:  j.failureKind,
+		SubmittedAt:  j.submitted,
 	}
 	switch {
 	case j.state == StateQueued:
@@ -805,7 +837,11 @@ func (m *Manager) recordSpan(j *job, s cgct.Span) {
 
 // executeCached is the default execute: singleflight through the shared
 // result cache, so identical configs — concurrent or repeated — cost one
-// simulation.
+// simulation. A compute leader tries the cheap tiers before simulating:
+// the persistent store (a warm restart already has the answer on disk),
+// then the key's owning cluster peer (the fleet may have it, or be
+// computing it right now — the fetch joins that run). Both tiers are
+// strictly optimisations: any failure falls through to local simulation.
 func (m *Manager) executeCached(j *job) (any, error) {
 	for attempt := 0; ; attempt++ {
 		res, err := m.cache.Do(j.runCtx, j.key, func(ctx context.Context) (any, error) {
@@ -813,11 +849,27 @@ func (m *Manager) executeCached(j *job) (any, error) {
 			if ferr := faultinject.Fire(faultinject.PointCacheCompute); ferr != nil {
 				return nil, ferr
 			}
+			if payload, ok := m.storeLoad(j.key); ok {
+				m.setResultSource(j, "store")
+				return json.RawMessage(payload), nil
+			}
+			if payload, ok := m.peerFetch(ctx, j.key); ok {
+				m.setResultSource(j, "peer")
+				m.storeSpill(j.key, payload)
+				return json.RawMessage(payload), nil
+			}
 			if p != nil {
 				ctx = cgct.WithProgress(ctx, p)
 			}
 			ctx = cgct.WithSpanRecorder(ctx, func(s cgct.Span) { m.recordSpan(j, s) })
-			return runRequest(ctx, j.request)
+			res, err := runRequest(ctx, j.request)
+			if err == nil {
+				m.setResultSource(j, "sim")
+				if payload, merr := canonicalResult(res); merr == nil {
+					m.storeSpill(j.key, payload)
+				}
+			}
+			return res, err
 		})
 		// If we were a follower of a leader that got cancelled, timed out
 		// or was killed by the watchdog, the error is the leader's, not
@@ -828,6 +880,125 @@ func (m *Manager) executeCached(j *job) (any, error) {
 		}
 		return res, err
 	}
+}
+
+// setResultSource records where a compute leader's result came from.
+func (m *Manager) setResultSource(j *job, src string) {
+	m.mu.Lock()
+	j.resultSource = src
+	m.mu.Unlock()
+}
+
+// canonicalResult renders a result's canonical wire bytes: compact JSON.
+// A result that arrived as raw JSON (store/peer hit) marshals verbatim,
+// so the canonical form of a key is byte-identical on every node that
+// holds it, however it got there.
+func canonicalResult(res any) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+// storeLoad tries the persistent store for key's result. A miss, a
+// corrupt (quarantined) entry, or a non-JSON payload all report !ok —
+// the caller simulates, and correctness never depends on the disk.
+func (m *Manager) storeLoad(key string) ([]byte, bool) {
+	if m.opts.Store == nil {
+		return nil, false
+	}
+	payload, err := m.opts.Store.Get(key)
+	if err != nil || !json.Valid(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// storeSpill schedules key's result for durable storage, best-effort.
+func (m *Manager) storeSpill(key string, payload []byte) {
+	if m.opts.Store == nil {
+		return
+	}
+	if err := m.opts.Store.Put(key, payload); err != nil {
+		m.log.Warn("persistent store put failed", "config_hash", shortHash(key), "error", err.Error())
+	}
+}
+
+// peerFetch asks the key's owning cluster peer for the result. Reports
+// !ok — and the caller simulates locally — when the node is standalone,
+// owns the key itself, the owner has not computed it, or the fetch fails
+// outright (peer death, timeout, injected fault). The returned payload
+// is validated as JSON so a garbled body cannot poison the result cache.
+func (m *Manager) peerFetch(ctx context.Context, key string) ([]byte, bool) {
+	c := m.opts.Cluster
+	if c == nil {
+		return nil, false
+	}
+	owner, self := c.Owner(key)
+	if self {
+		return nil, false
+	}
+	payload, err := c.Fetch(ctx, owner, key)
+	if err != nil || !json.Valid(payload) {
+		return nil, false
+	}
+	m.log.Info("result fetched from peer", "config_hash", shortHash(key), "owner", owner, "bytes", len(payload))
+	return payload, true
+}
+
+// ResultPayload serves the canonical result bytes for a content address:
+// the resident cache first, then the persistent store. With wait set it
+// joins (never leads) an in-flight computation for the key — the seam
+// that makes peer fetches cluster-wide singleflight. It never computes;
+// a key nobody has yields ErrNotFound, and the remote caller decides to
+// simulate. Invalid keys yield store.ErrBadKey (the handler's 400).
+func (m *Manager) ResultPayload(ctx context.Context, key string, wait bool) ([]byte, error) {
+	if err := store.ValidateKey(key); err != nil {
+		return nil, err
+	}
+	var (
+		res any
+		ok  bool
+	)
+	if wait {
+		var err error
+		res, ok, err = m.cache.Wait(ctx, key)
+		if err != nil && ctx.Err() != nil {
+			return nil, err
+		}
+		// A leader that failed is not a result we can serve; fall through
+		// to the store, then 404 — the caller simulates.
+		if err != nil {
+			ok = false
+		}
+	} else {
+		res, ok = m.cache.Peek(key)
+	}
+	if ok {
+		payload, err := canonicalResult(res)
+		if err == nil {
+			return payload, nil
+		}
+	}
+	if m.opts.Store != nil {
+		if payload, err := m.opts.Store.Get(key); err == nil && json.Valid(payload) {
+			return payload, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// ClusterView is the wire form of GET /v1/cluster.
+type ClusterView struct {
+	// Enabled is false on a standalone node (no -peers configured); the
+	// rest of the view is then omitted.
+	Enabled bool `json:"enabled"`
+	cluster.Status
+}
+
+// ClusterStatus snapshots the node's view of the fleet.
+func (m *Manager) ClusterStatus() ClusterView {
+	if m.opts.Cluster == nil {
+		return ClusterView{}
+	}
+	return ClusterView{Enabled: true, Status: m.opts.Cluster.Status()}
 }
 
 // watchdog periodically scans running compute leaders and force-fails any
@@ -925,6 +1096,13 @@ type Metrics struct {
 	// on scheduler workers), process-wide.
 	ParallelRunsInflight uint64 `json:"parallel_runs_inflight"`
 
+	// Store is the persistent-store snapshot (hits, writes, corruptions,
+	// pending write-behind entries); present only when a store is wired.
+	Store *store.Stats `json:"store,omitempty"`
+	// Cluster is the peer fetch/membership snapshot; present only when
+	// the node is clustered.
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+
 	Draining bool `json:"draining"`
 }
 
@@ -966,6 +1144,14 @@ func (m *Manager) Metrics() Metrics {
 	out.DirectoryEntries = directory.LiveEntries()
 	out.ParallelRunsInflight = sim.RunsInflight()
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
+	if m.opts.Store != nil {
+		ss := m.opts.Store.Stats()
+		out.Store = &ss
+	}
+	if m.opts.Cluster != nil {
+		cs := m.opts.Cluster.Stats()
+		out.Cluster = &cs
+	}
 	return out
 }
 
@@ -980,7 +1166,10 @@ func (m *Manager) Draining() bool {
 // with ErrDraining, workers finish their running jobs, and queued jobs are
 // cancelled. If ctx expires first, running jobs are force-cancelled (the
 // simulator aborts between event batches) and Drain returns ctx's error
-// once the workers exit.
+// once the workers exit. With the workers gone, the cluster prober is
+// stopped and the persistent store's write-behind queue is flushed and
+// closed — a planned restart loses nothing, so the next boot warm-starts
+// from disk.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	already := m.draining
@@ -1023,5 +1212,21 @@ func (m *Manager) Drain(ctx context.Context) error {
 		break
 	}
 	m.mu.Unlock()
+
+	// First Drain through: release the cluster and make the store durable.
+	// Workers have exited, so nothing races new spills past the flush.
+	if !already {
+		if c := m.opts.Cluster; c != nil {
+			c.Stop()
+		}
+		if s := m.opts.Store; s != nil {
+			if err := s.Close(); err != nil && drainErr == nil {
+				drainErr = err
+			}
+			st := s.Stats()
+			m.log.Info("persistent store closed",
+				"writes", st.Writes, "write_errors", st.WriteErrors, "pending", st.Pending)
+		}
+	}
 	return drainErr
 }

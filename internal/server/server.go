@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"cgct/internal/store"
 )
 
 // Server binds a Manager to HTTP routes:
@@ -13,6 +15,9 @@ import (
 //	GET    /v1/jobs/{id}      lifecycle status with queue position
 //	GET    /v1/jobs/{id}/result  full result JSON of a done job (409 otherwise)
 //	DELETE /v1/jobs/{id}      cancel (queued: immediate; running: via context)
+//	GET    /v1/results/{key}  result bytes by content address (peer fetching;
+//	                          ?wait=1 joins an in-flight computation; never computes)
+//	GET    /v1/cluster        this node's view of the fleet (membership, health, fetch stats)
 //	GET    /v1/metrics        queue/worker/cache/latency metrics (JSON)
 //	GET    /metrics           the same registry in Prometheus text format
 //	GET    /v1/healthz        200 ok, 503 while draining
@@ -29,6 +34,8 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -109,6 +116,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resultBody{JobStatus: st, Result: res})
+}
+
+// handleResultByKey serves the canonical result bytes for a content
+// address — the endpoint cluster peers fetch from. It reads the resident
+// cache and the persistent store; with ?wait=1 it also joins (never
+// leads) an in-flight computation for the key. It never computes: a key
+// this node has no answer for is an authoritative 404, telling the
+// caller to simulate locally.
+func (s *Server) handleResultByKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	wait := r.URL.Query().Get("wait") == "1"
+	payload, err := s.manager.ResultPayload(r.Context(), key, wait)
+	switch {
+	case errors.Is(err, store.ErrBadKey):
+		writeError(w, http.StatusBadRequest, err)
+	case err != nil:
+		writeError(w, http.StatusNotFound, ErrNotFound)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(payload)
+	}
+}
+
+// handleCluster serves this node's view of the fleet: membership with
+// per-peer health, plus the fetch/eviction counters. Standalone nodes
+// answer {"enabled": false} rather than 404, so operators can always
+// probe the same path.
+func (s *Server) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.ClusterStatus())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cgct/internal/faultinject"
+)
+
+// keyOf derives a valid store key from arbitrary test content.
+func keyOf(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func openTest(t *testing.T, o Options) *Store {
+	t.Helper()
+	if o.Dir == "" {
+		o.Dir = t.TempDir()
+	}
+	s, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := openTest(t, Options{})
+	key := keyOf("round-trip")
+	payload := []byte(`{"cycles":123456}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Read-your-writes: servable before the background writer lands it.
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get (dirty): %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	s.Flush()
+	if st := s.Stats(); st.Writes != 1 || st.Pending != 0 {
+		t.Fatalf("after flush: %+v, want 1 write, 0 pending", st)
+	}
+	// Durable read through the envelope path.
+	got, err = s.Get(key)
+	if err != nil {
+		t.Fatalf("Get (durable): %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("durable Get = %q, want %q", got, payload)
+	}
+	if !s.Has(key) {
+		t.Fatal("Has = false for stored key")
+	}
+	if s.Has(keyOf("absent")) {
+		t.Fatal("Has = true for absent key")
+	}
+	if _, err := s.Get(keyOf("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStoreSurvivesReopen is the warm-start property: a new Store over
+// the same directory serves entries written by a previous one.
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	key := keyOf("reopen")
+	payload := bytes.Repeat([]byte("warm"), 1000)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Put(keyOf("late"), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+
+	s2 := openTest(t, Options{Dir: dir})
+	got, err := s2.Get(key)
+	if err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload changed across reopen")
+	}
+}
+
+// TestStoreQuarantinesCorruption flips bytes in a durable entry at
+// several offsets (header, payload, digest) and checks each read reports
+// ErrCorrupt, moves the file aside, and leaves the store serving again
+// after a re-Put.
+func TestStoreQuarantinesCorruption(t *testing.T) {
+	for _, flip := range []struct {
+		name string
+		at   func(size int64) int64
+	}{
+		{"magic", func(int64) int64 { return 0 }},
+		{"key", func(int64) int64 { return 12 }},
+		{"payload", func(size int64) int64 { return size / 2 }},
+		{"digest", func(size int64) int64 { return size - 1 }},
+	} {
+		t.Run(flip.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, Options{Dir: dir})
+			key := keyOf("corrupt-" + flip.name)
+			payload := bytes.Repeat([]byte{0xAB}, 4096)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			s.Flush()
+
+			path := filepath.Join(dir, key[:2], key)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading entry file: %v", err)
+			}
+			raw[flip.at(int64(len(raw)))] ^= 0xFF
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatalf("writing corrupted entry: %v", err)
+			}
+
+			if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Get(corrupt) = %v, want ErrCorrupt", err)
+			}
+			if st := s.Stats(); st.Corruptions != 1 {
+				t.Fatalf("corruptions = %d, want 1", st.Corruptions)
+			}
+			// The bad file is gone from the serving path...
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt entry still at %s", path)
+			}
+			// ...preserved in quarantine...
+			q, err := filepath.Glob(filepath.Join(dir, "quarantine", key+".*"))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("quarantined copies = %v (err %v), want exactly 1", q, err)
+			}
+			// ...and a later Put re-establishes the entry.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("re-Put: %v", err)
+			}
+			s.Flush()
+			if got, err := s.Get(key); err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("Get after re-Put = %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreRejectsTruncation simulates a crash mid-ingest by truncating
+// a durable entry: reads must fail (quarantined), never return a short
+// payload.
+func TestStoreRejectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	key := keyOf("truncate")
+	if err := s.Put(key, bytes.Repeat([]byte("z"), 8192)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Flush()
+	path := filepath.Join(dir, key[:2], key)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(truncated) = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreAtomicWriteLeavesNoTemp checks the write path cleans up its
+// temp files: after a flush the shard holds exactly the final entries.
+func TestStoreAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(keyOf(fmt.Sprintf("entry-%d", i)), []byte("v")); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	s.Flush()
+	tmp, err := filepath.Glob(filepath.Join(dir, "*", ".tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}
+
+// TestStoreInjectedWriteFaults arms store.write: writes fail and are
+// counted, the store keeps serving (from the dirty map while pending,
+// and fresh Puts after the plan disarms), and Close still terminates.
+func TestStoreInjectedWriteFaults(t *testing.T) {
+	plan := faultinject.NewPlan(7)
+	plan.Arm(faultinject.PointStoreWrite, faultinject.Spec{Mode: faultinject.ModeError, Probability: 1})
+	faultinject.Enable(plan)
+	defer faultinject.Disable()
+
+	dir := t.TempDir()
+	s := openTest(t, Options{Dir: dir})
+	key := keyOf("doomed")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.WriteErrors == 0 || st.Writes != 0 {
+		t.Fatalf("stats = %+v, want only write errors under 100%% store.write faults", st)
+	}
+	// Entry was lost (warm-start only, never correctness): not on disk.
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(lost) = %v, want ErrNotFound", err)
+	}
+
+	faultinject.Disable()
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("Put after disarm: %v", err)
+	}
+	s.Flush()
+	if got, err := s.Get(key); err != nil || string(got) != "payload" {
+		t.Fatalf("Get after disarm = %q, %v", got, err)
+	}
+}
+
+// TestStoreInjectedReadFaults arms store.read: reads fail without
+// quarantining the (healthy) entry, and recover once disarmed.
+func TestStoreInjectedReadFaults(t *testing.T) {
+	s := openTest(t, Options{})
+	key := keyOf("read-fault")
+	if err := s.Put(key, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+
+	plan := faultinject.NewPlan(7)
+	plan.Arm(faultinject.PointStoreRead, faultinject.Spec{Mode: faultinject.ModeError, Probability: 1})
+	faultinject.Enable(plan)
+	if _, err := s.Get(key); err == nil {
+		faultinject.Disable()
+		t.Fatal("Get under 100% store.read faults succeeded")
+	}
+	faultinject.Disable()
+	if got, err := s.Get(key); err != nil || string(got) != "ok" {
+		t.Fatalf("Get after disarm = %q, %v (entry must not be quarantined by injected read faults)", got, err)
+	}
+	if st := s.Stats(); st.Corruptions != 0 {
+		t.Fatalf("injected read fault counted as corruption: %+v", st)
+	}
+}
+
+// TestStoreConcurrentPutGet hammers the store from many goroutines under
+// -race: overlapping Puts and Gets for a small key set must stay
+// consistent (a Get sees some complete payload for its key, never a torn
+// one).
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s := openTest(t, Options{QueueCapacity: 4}) // tiny queue forces the sync-write path too
+	const keys = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keyOf(fmt.Sprintf("shared-%d", i%keys))
+				payload := bytes.Repeat([]byte{byte(i)}, 512)
+				if err := s.Put(k, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, err := s.Get(k)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if len(got) != 512 {
+					t.Errorf("torn read: %d bytes", len(got))
+					return
+				}
+				for _, b := range got[1:] {
+					if b != got[0] {
+						t.Errorf("torn read: mixed bytes")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Flush()
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("pending = %d after flush", st.Pending)
+	}
+}
+
+func TestValidateKey(t *testing.T) {
+	good := keyOf("valid")
+	if err := ValidateKey(good); err != nil {
+		t.Fatalf("ValidateKey(%s) = %v", good, err)
+	}
+	for _, bad := range []string{
+		"",
+		"short",
+		good[:63],
+		good + "a",
+		"../../../../etc/passwd0000000000000000000000000000000000000000000",
+		"ABCDEF0000000000000000000000000000000000000000000000000000000000", // uppercase
+		"zzzzzz0000000000000000000000000000000000000000000000000000000000", // non-hex
+		good[:32] + "/" + good[33:],                                        // path separator
+	} {
+		if err := ValidateKey(bad); err == nil {
+			t.Errorf("ValidateKey(%q) accepted", bad)
+		}
+	}
+}

@@ -1,9 +1,13 @@
 package trace
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"cgct/internal/metrics"
@@ -57,10 +61,82 @@ var ErrTooLarge = errors.New("trace: workload too large for the shared compiled-
 var (
 	shared       = runcache.New[*Trace](maxSharedEntries, 0)
 	compilations atomic.Uint64
+	storeHits    atomic.Uint64
 )
 
 func init() {
 	shared.SetWeigher(maxSharedBytes, func(t *Trace) int64 { return t.Bytes() })
+}
+
+// PersistentStore is the disk spill target for compiled traces — the
+// subset of internal/store's API the trace cache needs, declared here so
+// the dependency points store-ward only. Keys are 64-char hex sha256.
+type PersistentStore interface {
+	Get(key string) ([]byte, error)
+	Put(key string, payload []byte) error
+}
+
+var (
+	persistMu sync.RWMutex
+	persist   PersistentStore
+)
+
+// SetPersistentStore installs (or, with nil, removes) the disk store
+// compiled traces spill to: each cache-miss compilation is serialised in
+// the CGCTCPT1 format and written through ps, and later misses — in this
+// process after an eviction, or in a restarted one — load the slab from
+// disk instead of re-generating and re-encoding the workload. Store
+// failures in either direction are invisible to callers: persistence is
+// a warm-start optimisation, never a correctness dependency.
+func SetPersistentStore(ps PersistentStore) {
+	persistMu.Lock()
+	persist = ps
+	persistMu.Unlock()
+}
+
+// storeKey derives the disk address for k: traces share the store with
+// content-addressed results, whose keys are sha256 hex, so the trace
+// cache key string is hashed into the same namespace.
+func storeKey(k Key) string {
+	sum := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// loadPersisted attempts to serve k from the persistent store. The
+// CGCTCPT1 envelope revalidates every byte on the way in, so a stale or
+// corrupt spill deserialises to an error, not a wrong trace.
+func loadPersisted(k Key) (*Trace, bool) {
+	persistMu.RLock()
+	ps := persist
+	persistMu.RUnlock()
+	if ps == nil {
+		return nil, false
+	}
+	payload, err := ps.Get(storeKey(k))
+	if err != nil {
+		return nil, false
+	}
+	t, err := Read(bytes.NewReader(payload))
+	if err != nil || t.Name != k.Benchmark {
+		return nil, false
+	}
+	return t, true
+}
+
+// spillPersisted writes a freshly compiled trace through the store's
+// write-behind queue. Best-effort by design.
+func spillPersisted(k Key, t *Trace) {
+	persistMu.RLock()
+	ps := persist
+	persistMu.RUnlock()
+	if ps == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := t.Write(&buf); err != nil {
+		return
+	}
+	_ = ps.Put(storeKey(k), buf.Bytes())
 }
 
 // Get returns the process-wide shared compiled trace for k, compiling it
@@ -74,12 +150,20 @@ func Get(ctx context.Context, k Key) (*Trace, error) {
 		return nil, ErrTooLarge
 	}
 	return shared.Do(ctx, k.String(), func(ctx context.Context) (*Trace, error) {
+		if t, ok := loadPersisted(k); ok {
+			storeHits.Add(1)
+			return t, nil
+		}
 		compilations.Add(1)
-		return Compile(ctx, k.Benchmark, workload.Params{
+		t, err := Compile(ctx, k.Benchmark, workload.Params{
 			Processors: k.Processors,
 			OpsPerProc: k.OpsPerProc,
 			Seed:       k.Seed,
 		})
+		if err == nil {
+			spillPersisted(k, t)
+		}
+		return t, err
 	})
 }
 
@@ -91,11 +175,19 @@ type Stats struct {
 	runcache.Stats
 	Compilations uint64 `json:"compilations"`
 	DecodeShares uint64 `json:"decode_shares"`
+	// StoreHits counts compilations avoided by loading the compiled slab
+	// from the persistent store (warm restarts and post-eviction reloads).
+	StoreHits uint64 `json:"store_hits"`
 }
 
 // SharedStats snapshots the shared cache.
 func SharedStats() Stats {
-	return Stats{Stats: shared.Stats(), Compilations: compilations.Load(), DecodeShares: decodeShares.Load()}
+	return Stats{
+		Stats:        shared.Stats(),
+		Compilations: compilations.Load(),
+		DecodeShares: decodeShares.Load(),
+		StoreHits:    storeHits.Load(),
+	}
 }
 
 // RegisterMetrics registers the process-wide compiled-trace cache into
@@ -109,4 +201,6 @@ func RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(compilations.Load()) })
 	reg.CounterFunc("cgct_batch_decode_shares_total", "decoded trace blocks served to additional lockstep consumers without re-decoding",
 		func() float64 { return float64(decodeShares.Load()) })
+	reg.CounterFunc("cgct_trace_store_hits_total", "compilations avoided by loading the compiled slab from the persistent store",
+		func() float64 { return float64(storeHits.Load()) })
 }
