@@ -109,6 +109,14 @@ type Options struct {
 	// each fabric request (run-to-run variability for confidence
 	// intervals).
 	PerturbCycles uint64
+	// SimParallelism spreads a single run's node partitions across up to
+	// this many goroutines (conservative PDES with a latency-lookahead
+	// window; see internal/sim). Results are bit-identical at every
+	// setting — it is an execution strategy, not part of the simulated
+	// machine, so it does not enter result-cache keys. 0 or 1 runs
+	// sequentially; runs the engine cannot partition (directory fabric,
+	// PerturbCycles, DebugChecks, one processor) fall back to sequential.
+	SimParallelism int
 	// DebugChecks enables the expensive coherence invariants.
 	DebugChecks bool
 }
@@ -227,6 +235,15 @@ type Result struct {
 	RCAEmptyEvictFrac  float64
 	RCASelfInvals      uint64
 	AvgLinesAtEviction float64
+
+	// SimParallelism echoes the effective parallelism option the run was
+	// submitted with (results are identical at every setting).
+	// PartitionEvents, non-nil only when the run actually executed on the
+	// parallel (PDES) engine, counts the events each partition executed:
+	// one slot per processor plus a final slot for the shared hub
+	// partition (fabric, memory controllers, DMA).
+	SimParallelism  int
+	PartitionEvents []uint64
 }
 
 // EnergyBreakdown is the per-component energy of a run (relative units).
@@ -310,6 +327,10 @@ func buildConfig(o Options) (config.Config, Options) {
 	cfg.Proc.RegionPrefetch = o.RegionPrefetch
 	cfg.DMAIntervalCycles = o.DMAIntervalCycles
 	cfg.PerturbMaxCycles = o.PerturbCycles
+	if o.SimParallelism < 0 {
+		o.SimParallelism = 0
+	}
+	cfg.SimParallelism = o.SimParallelism
 	return cfg, o
 }
 
@@ -368,6 +389,7 @@ func RunContext(ctx context.Context, benchmark string, o Options) (*Result, erro
 		return nil, err
 	}
 	res := summarize(benchmark, o2, run)
+	res.PartitionEvents = system.PartitionEvents()
 	recordSpan(rec, PhaseAggregate, t2, time.Now())
 	return res, nil
 }
@@ -462,6 +484,7 @@ func summarize(benchmark string, o Options, run *stats.Run) *Result {
 		SnoopTagLookups:       run.SnoopTagLookups,
 		SnoopTagFiltered:      run.SnoopTagFiltered,
 		Upgrades:              run.Requests[coherence.ReqUpgrade],
+		SimParallelism:        o.SimParallelism,
 	}
 	var reqCat, avoidCat, bcastCat [stats.NCategories]uint64
 	for k := 0; k < coherence.NKinds; k++ {
@@ -546,7 +569,9 @@ func RunTrace(path string, o Options) (*Result, error) {
 	}
 	system.DebugChecks = o.DebugChecks
 	run := system.Run()
-	return summarize(path, o2, run), nil
+	res := summarize(path, o2, run)
+	res.PartitionEvents = system.PartitionEvents()
+	return res, nil
 }
 
 // CompileTrace compiles a benchmark's workload into the columnar
@@ -587,7 +612,9 @@ func RunCompiledTrace(path string, o Options) (*Result, error) {
 	if name == "" {
 		name = path
 	}
-	return summarize(name, o2, run), nil
+	res := summarize(name, o2, run)
+	res.PartitionEvents = system.PartitionEvents()
+	return res, nil
 }
 
 // Comparison pairs a baseline run with a CGCT run of the same workload.

@@ -81,6 +81,12 @@ func configs() []benchConfig {
 		{Name: "cgct-tpcw", Benchmark: "tpc-w", Opts: cgct.Options{CGCT: true}},
 		{Name: "cgct-tpch", Benchmark: "tpc-h", Opts: cgct.Options{CGCT: true}},
 		{Name: "cgct-16proc-tpcb", Benchmark: "tpc-b", Opts: cgct.Options{Processors: 16, CGCT: true}},
+		// The pdes-* configs run one simulation under the intra-run
+		// (conservative PDES) engine; compare against cgct-ocean /
+		// cgct-16proc-tpcb for the windowed engine's speedup (or, on a
+		// single-core host, its coordination overhead).
+		{Name: "pdes-ocean", Benchmark: "ocean", Opts: cgct.Options{CGCT: true, SimParallelism: 4}},
+		{Name: "pdes-tpcb", Benchmark: "tpc-b", Opts: cgct.Options{Processors: 16, CGCT: true, SimParallelism: par}},
 		{Name: "sweep4-ocean-seq", Benchmark: "ocean", Variants: sweepVariants(), Parallelism: 1, VariantsPerDecode: 1},
 		{Name: "sweep4-ocean-batched", Benchmark: "ocean", Variants: sweepVariants(), Parallelism: par, VariantsPerDecode: 4},
 	}
@@ -116,6 +122,13 @@ type benchResult struct {
 	// worker count, on a single run they coincide.
 	WallNs int64 `json:"wall_ns"`
 	CPUNs  int64 `json:"cpu_ns"`
+	// SimParallelism is the intra-run (PDES) goroutine count the config
+	// requested (0/1 = sequential engine); PartitionEvents is the
+	// deterministic per-partition event split of one run — one slot per
+	// processor plus a final hub slot — present only when the windowed
+	// engine actually engaged.
+	SimParallelism  int      `json:"sim_parallelism"`
+	PartitionEvents []uint64 `json:"partition_events,omitempty"`
 }
 
 type benchFile struct {
@@ -217,6 +230,8 @@ func measure(c benchConfig, iters int) (benchResult, error) {
 		Variants:          1,
 		WallNs:            elapsed.Nanoseconds() / int64(iters),
 		CPUNs:             cpu.Nanoseconds() / int64(iters),
+		SimParallelism:    c.Opts.SimParallelism,
+		PartitionEvents:   res.PartitionEvents,
 	}, nil
 }
 
@@ -329,8 +344,11 @@ func measureSweep(c benchConfig, iters int) (benchResult, error) {
 
 // compare prints per-config deltas against a previously written bench
 // file. It is informational only — machine noise makes small swings
-// meaningless — so it never fails the run.
-func compare(baselinePath string, results []benchResult) {
+// meaningless — so it never fails the run. A baseline captured at a
+// different go_max_procs ran with a different parallel budget, so its
+// wall-clock-derived columns are not comparable: only allocation deltas
+// are printed then.
+func compare(baselinePath string, results []benchResult, goMaxProcs int) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cgctbench: baseline unavailable: %v\n", err)
@@ -341,8 +359,13 @@ func compare(baselinePath string, results []benchResult) {
 		fmt.Fprintf(os.Stderr, "cgctbench: baseline unreadable: %v\n", err)
 		return
 	}
+	wallClock := base.GoMaxProcs == 0 || base.GoMaxProcs == goMaxProcs
 	fmt.Printf("\nvs %s:\n", baselinePath)
-	for _, line := range compareLines(results, base.Results) {
+	if !wallClock {
+		fmt.Printf("  (baseline ran at go_max_procs=%d, this host has %d: wall-clock deltas skipped)\n",
+			base.GoMaxProcs, goMaxProcs)
+	}
+	for _, line := range compareLines(results, base.Results, wallClock) {
 		fmt.Println(line)
 	}
 }
@@ -366,7 +389,9 @@ func loadBaseline(data []byte) (benchFile, error) {
 // missing from the baseline — or one whose baseline throughput is zero or
 // otherwise yields a non-finite delta (a partial or zero-valued baseline
 // file) — reports "(no baseline)"; the output never contains NaN% or Inf%.
-func compareLines(results, baseline []benchResult) []string {
+// With wallClock false (the baseline's go_max_procs differs) only the
+// allocation delta — a machine-shape-independent number — is printed.
+func compareLines(results, baseline []benchResult, wallClock bool) []string {
 	byName := map[string]benchResult{}
 	for _, r := range baseline {
 		byName[r.Name] = r
@@ -374,8 +399,16 @@ func compareLines(results, baseline []benchResult) []string {
 	lines := make([]string, 0, len(results))
 	for _, r := range results {
 		b, ok := byName[r.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-18s (no baseline)", r.Name))
+			continue
+		}
+		if !wallClock {
+			lines = append(lines, fmt.Sprintf("  %-18s allocs/op %+d", r.Name, r.AllocsPerOp-b.AllocsPerOp))
+			continue
+		}
 		pct := 100 * (r.TraceOpsSec/b.TraceOpsSec - 1)
-		if !ok || math.IsNaN(pct) || math.IsInf(pct, 0) {
+		if math.IsNaN(pct) || math.IsInf(pct, 0) {
 			lines = append(lines, fmt.Sprintf("  %-18s (no baseline)", r.Name))
 			continue
 		}
@@ -425,9 +458,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cgctbench %s: %v\n", c.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-20s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op  (par %d, vpd %d, cpu/wall %.2f)\n",
+		fmt.Printf("%-20s %12.0f trace-ops/s  %8d allocs/op  %11d ns/op  (par %d, vpd %d, simpar %d, cpu/wall %.2f)\n",
 			res.Name, res.TraceOpsSec, res.AllocsPerOp, res.NsPerOp,
-			res.Parallelism, res.VariantsPerDecode, float64(res.CPUNs)/float64(res.WallNs))
+			res.Parallelism, res.VariantsPerDecode, res.SimParallelism, float64(res.CPUNs)/float64(res.WallNs))
 		file.Results = append(file.Results, res)
 	}
 	if len(file.Results) == 0 {
@@ -436,7 +469,7 @@ func main() {
 	}
 
 	if *baseline != "" {
-		compare(*baseline, file.Results)
+		compare(*baseline, file.Results, file.GoMaxProcs)
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")

@@ -20,7 +20,7 @@ func TestCompareLinesZeroBaseline(t *testing.T) {
 		{Name: "zeroed", TraceOpsSec: 0},     // 0/0 would be NaN
 		// "cgct-tpcw" absent entirely
 	}
-	lines := compareLines(results, baseline)
+	lines := compareLines(results, baseline, true)
 	if len(lines) != len(results) {
 		t.Fatalf("got %d lines for %d results", len(lines), len(results))
 	}
@@ -39,7 +39,7 @@ func TestCompareLinesZeroBaseline(t *testing.T) {
 func TestCompareLinesDelta(t *testing.T) {
 	results := []benchResult{{Name: "cgct-ocean", TraceOpsSec: 150, AllocsPerOp: 10}}
 	baseline := []benchResult{{Name: "cgct-ocean", TraceOpsSec: 100, AllocsPerOp: 13}}
-	lines := compareLines(results, baseline)
+	lines := compareLines(results, baseline, true)
 	if len(lines) != 1 {
 		t.Fatalf("got %d lines", len(lines))
 	}
@@ -53,7 +53,7 @@ func TestCompareLinesDelta(t *testing.T) {
 func TestCompareLinesNaNResult(t *testing.T) {
 	results := []benchResult{{Name: "x", TraceOpsSec: math.NaN()}}
 	baseline := []benchResult{{Name: "x", TraceOpsSec: 100}}
-	lines := compareLines(results, baseline)
+	lines := compareLines(results, baseline, true)
 	if len(lines) != 1 || !strings.Contains(lines[0], "(no baseline)") {
 		t.Fatalf("NaN measurement not suppressed: %v", lines)
 	}
@@ -94,7 +94,7 @@ func TestBaselineSchemaTolerance(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: loadBaseline: %v", name, err)
 		}
-		lines := compareLines(results, base.Results)
+		lines := compareLines(results, base.Results, true)
 		if len(lines) != len(results) {
 			t.Fatalf("%s: got %d lines for %d results", name, len(lines), len(results))
 		}
@@ -110,5 +110,24 @@ func TestBaselineSchemaTolerance(t *testing.T) {
 	}
 	if _, err := loadBaseline([]byte(`{"results": [`)); err == nil {
 		t.Error("malformed JSON did not error")
+	}
+}
+
+// TestCompareLinesSkipsWallClockAcrossHosts: a baseline captured at a
+// different go_max_procs ran with a different parallel budget, so the
+// wall-clock-derived trace-ops/s delta is withheld and only the
+// machine-shape-independent allocation delta prints.
+func TestCompareLinesSkipsWallClockAcrossHosts(t *testing.T) {
+	results := []benchResult{{Name: "pdes-ocean", TraceOpsSec: 150, AllocsPerOp: 10}}
+	baseline := []benchResult{{Name: "pdes-ocean", TraceOpsSec: 100, AllocsPerOp: 13}}
+	lines := compareLines(results, baseline, false)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if strings.Contains(lines[0], "trace-ops/s") || strings.Contains(lines[0], "%") {
+		t.Errorf("wall-clock delta leaked across host shapes: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "allocs/op -3") {
+		t.Errorf("allocation delta missing: %q", lines[0])
 	}
 }

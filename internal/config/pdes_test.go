@@ -1,0 +1,96 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPDESLookaheadWindow pins the lookahead derivation on both fabrics:
+// it is the minimum latency after which one node partition can first
+// perturb another, so every windowed run's correctness rests on these
+// values being the true fabric floors.
+func TestPDESLookaheadWindow(t *testing.T) {
+	snoop := Default()
+	// Table 3: snoop = 16 system cycles (160 CPU cycles), direct floor =
+	// same-chip hop (1) + DRAM (160). The snoop path is the minimum.
+	if got, want := snoop.PDESLookahead(), SysCycles(16); got != want {
+		t.Errorf("snoop lookahead = %d, want %d", got, want)
+	}
+	if snoop.PDESLookahead() != snoop.Net.SnoopLatency {
+		t.Errorf("snoop lookahead %d should equal the snoop latency %d",
+			snoop.PDESLookahead(), snoop.Net.SnoopLatency)
+	}
+
+	// When the bus is slower than a direct DRAM round trip, the direct
+	// path becomes the floor.
+	slowBus := Default()
+	slowBus.Net.SnoopLatency = 10_000
+	if got, want := slowBus.PDESLookahead(), slowBus.Net.DirectReqSameChip+slowBus.Net.DRAMLatency; got != want {
+		t.Errorf("slow-bus lookahead = %d, want direct floor %d", got, want)
+	}
+
+	dir := Default().WithDirectory(DirectoryParams{})
+	if got, want := dir.PDESLookahead(), dir.Net.DirectReqSameChip+dir.Net.DirectoryLatency; got != want {
+		t.Errorf("directory lookahead = %d, want %d", got, want)
+	}
+	if dir.PDESLookahead() >= snoop.PDESLookahead() {
+		t.Errorf("directory lookahead %d should undercut the snoop fabric's %d (home lookup beats a bus grant)",
+			dir.PDESLookahead(), snoop.PDESLookahead())
+	}
+}
+
+// TestPDESBatchHorizonBound: the node-ahead batching horizon is derived
+// from — and must never exceed — the PDES lookahead, on both fabrics.
+// A horizon above the lookahead would let a node's private-hit timing
+// skew cross a window boundary.
+func TestPDESBatchHorizonBound(t *testing.T) {
+	for _, cfg := range []Config{Default(), Default().WithDirectory(DirectoryParams{})} {
+		if cfg.BatchHorizon() > cfg.PDESLookahead() {
+			t.Errorf("fabric %s: batch horizon %d exceeds lookahead %d",
+				cfg.FabricOrDefault(), cfg.BatchHorizon(), cfg.PDESLookahead())
+		}
+		if cfg.BatchHorizon() == 0 {
+			t.Errorf("fabric %s: zero batch horizon disables node-ahead batching", cfg.FabricOrDefault())
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("fabric %s: default config fails validation: %v", cfg.FabricOrDefault(), err)
+		}
+	}
+}
+
+// TestPDESValidate covers the parallelism and lookahead validation arms.
+func TestPDESValidate(t *testing.T) {
+	c := Default()
+	c.SimParallelism = -1
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "SimParallelism") {
+		t.Errorf("negative SimParallelism: got %v", err)
+	}
+	c.SimParallelism = 1025
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "SimParallelism") {
+		t.Errorf("oversized SimParallelism: got %v", err)
+	}
+	c.SimParallelism = 1024
+	if err := c.Validate(); err != nil {
+		t.Errorf("SimParallelism 1024 should validate: %v", err)
+	}
+
+	z := Default()
+	z.Net.SnoopLatency = 0
+	z.Net.DirectReqSameChip = 0
+	z.Net.DRAMLatency = 0
+	if err := z.Validate(); err == nil || !strings.Contains(err.Error(), "lookahead") {
+		t.Errorf("zero lookahead: got %v", err)
+	}
+}
+
+// TestPDESHashExcludesParallelism: SimParallelism is an execution
+// strategy, not machine configuration — two configs differing only in it
+// must hash (and cache) identically.
+func TestPDESHashExcludesParallelism(t *testing.T) {
+	a := Default()
+	b := Default()
+	b.SimParallelism = 8
+	if a.Hash() != b.Hash() {
+		t.Error("SimParallelism changed the config hash")
+	}
+}

@@ -1,0 +1,366 @@
+package event
+
+// Property test for the windowed (PDES) queue primitives: executing a
+// randomized event workload window-by-window — AdvanceTo + DrainWindow,
+// per-partition local ordering by (time, class, counter), then a global
+// replay merged by (time, seq) with AllocSeq consuming sequence numbers
+// at the exact positions a sequential Schedule would — must visit events
+// in exactly the order a plain sequential Queue does. This is the
+// ordering argument internal/sim/parallel.go relies on, checked here
+// against the queue alone with no simulator on top.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wLookaheads and wParts are swept per trial; the lookahead must stay
+// within the wheel window (DrainWindow's limit bound).
+var wLookaheads = []Cycle{7, 64, 250, 1000, 4000}
+
+func lcg(x uint64) uint64 { return x*6364136223846793005 + 1442695040888963407 }
+
+type wFollow struct {
+	delta Cycle
+	u32   uint32
+	u64   uint64
+	cross bool // delta >= lookahead: may hop partitions
+}
+
+// wFollowups derives 0–2 deterministic follow-up events from an event's
+// payload. In-window deltas (< lookahead) model partition-local work;
+// cross deltas (>= lookahead) model hub hops, which is exactly the
+// conservative-lookahead contract the simulator's fabric provides. A
+// generation counter in u32's top bits bounds the cascade depth.
+func wFollowups(u32 uint32, u64 uint64, lookahead Cycle) []wFollow {
+	gen := u32 >> 28
+	if gen >= 6 {
+		return nil
+	}
+	r := lcg(u64)
+	n := [4]int{0, 0, 1, 2}[r>>62]
+	var out []wFollow
+	for i := 0; i < n; i++ {
+		r = lcg(r)
+		f := wFollow{u64: r, u32: (gen+1)<<28 | uint32(r>>33)&0x0fffffff}
+		if r&1 == 0 {
+			f.delta = Cycle(r>>8) % lookahead
+		} else {
+			f.delta = lookahead + Cycle(r>>8)%1000
+			f.cross = true
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+type wEvent struct {
+	at  Cycle
+	u32 uint32
+}
+
+// --- sequential reference ---
+
+type seqExec struct {
+	q         *Queue
+	lookahead Cycle
+	handlers  []*seqHandler
+	log       []wEvent
+}
+
+type seqHandler struct {
+	x *seqExec
+	p int
+}
+
+func (h *seqHandler) HandleEvent(now Cycle, op uint8, u32 uint32, u64 uint64) {
+	x := h.x
+	x.log = append(x.log, wEvent{now, u32})
+	for _, f := range wFollowups(u32, u64, x.lookahead) {
+		target := h
+		if f.cross {
+			target = x.handlers[int(f.u64%uint64(len(x.handlers)))]
+		}
+		x.q.Schedule(now+f.delta, target, 0, f.u32, f.u64)
+	}
+}
+
+// --- windowed executor (mirrors internal/sim/parallel.go) ---
+
+const (
+	wClsDrained = 0 // drained from the queue: counter is drain (= seq) order
+	wClsCreated = 1 // created inside the window: counter is creation order
+)
+
+type wLocal struct {
+	at  Cycle
+	ctr uint64
+	u64 uint64
+	u32 uint32
+	cls uint8
+}
+
+func wLocalLess(a, b wLocal) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.cls != b.cls {
+		return a.cls < b.cls
+	}
+	return a.ctr < b.ctr
+}
+
+type wRecord struct {
+	at      wEvent // executed event (identity for the log)
+	follows []struct {
+		at   Cycle
+		u32  uint32
+		u64  uint64
+		part int
+	}
+}
+
+type wPartState struct {
+	heap []wLocal
+	recs []wRecord
+	cur  int
+	ctr  uint64
+}
+
+func (p *wPartState) push(ev wLocal) {
+	p.heap = append(p.heap, ev)
+	i := len(p.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wLocalLess(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+}
+
+func (p *wPartState) pop() wLocal {
+	top := p.heap[0]
+	last := len(p.heap) - 1
+	p.heap[0] = p.heap[last]
+	p.heap = p.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(p.heap) && wLocalLess(p.heap[l], p.heap[small]) {
+			small = l
+		}
+		if r < len(p.heap) && wLocalLess(p.heap[r], p.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		p.heap[i], p.heap[small] = p.heap[small], p.heap[i]
+		i = small
+	}
+	return top
+}
+
+type wMerge struct {
+	at   Cycle
+	seq  uint64
+	part int
+}
+
+func wMergeLess(a, b wMerge) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+type winHandler struct{ p int }
+
+func (h *winHandler) HandleEvent(Cycle, uint8, uint32, uint64) {
+	panic("windowed executor drains events; the queue must never run them")
+}
+
+type winExec struct {
+	q         *Queue
+	lookahead Cycle
+	handlers  []*winHandler
+	parts     []*wPartState
+	merge     []wMerge
+	log       []wEvent
+	buf       []Rec
+}
+
+func (x *winExec) pushMerge(m wMerge) {
+	x.merge = append(x.merge, m)
+	i := len(x.merge) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wMergeLess(x.merge[i], x.merge[parent]) {
+			break
+		}
+		x.merge[i], x.merge[parent] = x.merge[parent], x.merge[i]
+		i = parent
+	}
+}
+
+func (x *winExec) popMerge() wMerge {
+	top := x.merge[0]
+	last := len(x.merge) - 1
+	x.merge[0] = x.merge[last]
+	x.merge = x.merge[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(x.merge) && wMergeLess(x.merge[l], x.merge[small]) {
+			small = l
+		}
+		if r < len(x.merge) && wMergeLess(x.merge[r], x.merge[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		x.merge[i], x.merge[small] = x.merge[small], x.merge[i]
+		i = small
+	}
+	return top
+}
+
+// runWindow executes one partition's window (Phase A): pop local events
+// in (time, class, counter) order, record each execution and its
+// follow-ups, and feed same-partition in-window follow-ups back into the
+// local heap.
+func (x *winExec) runWindow(p int, limit Cycle) {
+	pt := x.parts[p]
+	for len(pt.heap) > 0 {
+		ev := pt.pop()
+		rec := wRecord{at: wEvent{ev.at, ev.u32}}
+		for _, f := range wFollowups(ev.u32, ev.u64, x.lookahead) {
+			at := ev.at + f.delta
+			part := p
+			if f.cross {
+				part = int(f.u64 % uint64(len(x.handlers)))
+			}
+			rec.follows = append(rec.follows, struct {
+				at   Cycle
+				u32  uint32
+				u64  uint64
+				part int
+			}{at, f.u32, f.u64, part})
+			if at < limit && part == p {
+				pt.ctr++
+				pt.push(wLocal{at: at, ctr: pt.ctr, u64: f.u64, u32: f.u32, cls: wClsCreated})
+			}
+		}
+		pt.recs = append(pt.recs, rec)
+	}
+}
+
+// replay is Phase B: pop the merge heap in (time, seq) order; each entry
+// consumes its partition's next recorded execution, appends it to the
+// global log, and performs the recorded schedules — AllocSeq for events
+// that already ran inside the window, Queue.Schedule for later ones — at
+// the exact position the sequential run would have.
+func (x *winExec) replay(t *testing.T, limit Cycle) {
+	t.Helper()
+	for len(x.merge) > 0 {
+		m := x.popMerge()
+		pt := x.parts[m.part]
+		if pt.cur >= len(pt.recs) {
+			t.Fatalf("partition %d replay exhausted at t=%d", m.part, m.at)
+		}
+		rec := pt.recs[pt.cur]
+		pt.cur++
+		if rec.at.at != m.at {
+			t.Fatalf("replay desynchronized: partition %d executed t=%d, merge expects t=%d",
+				m.part, rec.at.at, m.at)
+		}
+		x.log = append(x.log, rec.at)
+		for _, f := range rec.follows {
+			if f.at < limit {
+				x.pushMerge(wMerge{at: f.at, seq: x.q.AllocSeq(), part: f.part})
+			} else {
+				x.q.Schedule(f.at, x.handlers[f.part], 0, f.u32, f.u64)
+			}
+		}
+	}
+}
+
+func (x *winExec) run(t *testing.T) {
+	t.Helper()
+	for {
+		t0, ok := x.q.PeekTime()
+		if !ok {
+			return
+		}
+		limit := t0 + x.lookahead
+		x.q.AdvanceTo(t0)
+		x.buf = x.q.DrainWindow(limit, x.buf[:0])
+		for i, r := range x.buf {
+			p := r.H.(*winHandler).p
+			x.parts[p].push(wLocal{at: r.At, ctr: uint64(i), u64: r.U64, u32: r.U32, cls: wClsDrained})
+			x.pushMerge(wMerge{at: r.At, seq: r.Seq, part: p})
+		}
+		for p := range x.parts {
+			if len(x.parts[p].heap) > 0 {
+				x.runWindow(p, limit)
+			}
+		}
+		x.replay(t, limit)
+		for _, pt := range x.parts {
+			if pt.cur != len(pt.recs) {
+				t.Fatalf("replay consumed %d of %d records", pt.cur, len(pt.recs))
+			}
+			pt.recs = pt.recs[:0]
+			pt.cur = 0
+		}
+	}
+}
+
+func TestWindowedMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 40; trial++ {
+		lookahead := wLookaheads[trial%len(wLookaheads)]
+		nParts := 2 + trial%4
+		nRoots := 50 + rng.Intn(150)
+
+		seq := &seqExec{q: &Queue{}, lookahead: lookahead}
+		for p := 0; p < nParts; p++ {
+			seq.handlers = append(seq.handlers, &seqHandler{x: seq, p: p})
+		}
+		win := &winExec{q: &Queue{}, lookahead: lookahead}
+		for p := 0; p < nParts; p++ {
+			win.handlers = append(win.handlers, &winHandler{p: p})
+			win.parts = append(win.parts, &wPartState{})
+		}
+
+		// Identical root workload scheduled into both queues in the same
+		// order, so the starting sequence numbers line up.
+		for i := 0; i < nRoots; i++ {
+			at := Cycle(1 + rng.Intn(8000))
+			p := rng.Intn(nParts)
+			u32 := uint32(i)
+			u64 := rng.Uint64()
+			seq.q.Schedule(at, seq.handlers[p], 0, u32, u64)
+			win.q.Schedule(at, win.handlers[p], 0, u32, u64)
+		}
+
+		seq.q.Run()
+		win.run(t)
+
+		if len(seq.log) != len(win.log) {
+			t.Fatalf("trial %d (L=%d parts=%d): sequential ran %d events, windowed ran %d",
+				trial, lookahead, nParts, len(seq.log), len(win.log))
+		}
+		for i := range seq.log {
+			if seq.log[i] != win.log[i] {
+				t.Fatalf("trial %d (L=%d parts=%d): execution order diverges at %d: sequential %+v, windowed %+v",
+					trial, lookahead, nParts, i, seq.log[i], win.log[i])
+			}
+		}
+	}
+}

@@ -93,6 +93,9 @@ const (
 	// value fails at admission, not at config resolution).
 	maxReqDirPointers = 8
 	maxReqDirEntries  = 1 << 24
+	// Intra-run parallelism: each unit is a goroutine for the run's
+	// lifetime, so bound it far below config's own 1024 ceiling.
+	maxReqSimParallelism = 64
 )
 
 // boundRequest rejects oversized requests. Callers run it before resolving
@@ -124,6 +127,9 @@ func (r *JobRequest) boundRequest() error {
 		}
 		if o.DirEntriesPerHome > maxReqDirEntries {
 			return fmt.Errorf("dir_entries_per_home %d exceeds limit %d", o.DirEntriesPerHome, maxReqDirEntries)
+		}
+		if o.SimParallelism > maxReqSimParallelism {
+			return fmt.Errorf("sim_parallelism %d exceeds limit %d", o.SimParallelism, maxReqSimParallelism)
 		}
 	case TypeExperiment:
 		p := r.Params
@@ -163,6 +169,11 @@ func (r *JobRequest) normalize() (string, error) {
 			return "", err
 		}
 		r.Options = o2
+		// SimParallelism is an execution strategy, not part of the
+		// simulated machine (results are bit-identical at every setting) —
+		// zero it in the hashed copy so parallel and sequential requests
+		// for the same machine share one cache entry.
+		o2.SimParallelism = 0
 		fmt.Fprintf(h, "sim\x00%s\x00%s\x00%+v", r.Benchmark, cfg.Hash(), o2)
 	case TypeExperiment:
 		if !experiments.Known(r.Experiment) {
@@ -501,6 +512,10 @@ func (m *Manager) initMetrics() {
 		func() float64 { return float64(directory.LiveEntries()) })
 	r.GaugeFunc("cgct_parallel_runs_inflight", "simulator instances currently executing under the batched multi-variant engine",
 		func() float64 { return float64(sim.RunsInflight()) })
+	r.CounterFunc("cgct_sim_window_stalls_total", "PDES windows degraded to a single sequential step by an imminent hub event",
+		func() float64 { return float64(sim.WindowStallsTotal()) })
+	r.GaugeFunc("cgct_sim_partitions_inflight", "node partitions currently executing a PDES time window",
+		func() float64 { return float64(sim.PartitionsInflight()) })
 }
 
 // countState counts retained job records in one lifecycle state.
@@ -1096,6 +1111,12 @@ type Metrics struct {
 	// on scheduler workers), process-wide.
 	ParallelRunsInflight uint64 `json:"parallel_runs_inflight"`
 
+	// Intra-run (PDES) engine: windows degraded to a single sequential
+	// step by an imminent hub event, and node partitions currently
+	// executing a time window, process-wide.
+	SimWindowStalls       uint64 `json:"sim_window_stalls"`
+	SimPartitionsInflight uint64 `json:"sim_partitions_inflight"`
+
 	// Store is the persistent-store snapshot (hits, writes, corruptions,
 	// pending write-behind entries); present only when a store is wired.
 	Store *store.Stats `json:"store,omitempty"`
@@ -1143,6 +1164,10 @@ func (m *Manager) Metrics() Metrics {
 	out.FabricMessages = map[string]uint64{"broadcast": b, "direct": d, "local": l, "directory": dm}
 	out.DirectoryEntries = directory.LiveEntries()
 	out.ParallelRunsInflight = sim.RunsInflight()
+	out.SimWindowStalls = sim.WindowStallsTotal()
+	if n := sim.PartitionsInflight(); n > 0 {
+		out.SimPartitionsInflight = uint64(n)
+	}
 	out.WorkerUtilization = float64(out.BusyWorkers) / float64(out.Workers)
 	if m.opts.Store != nil {
 		ss := m.opts.Store.Stats()

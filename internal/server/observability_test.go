@@ -96,6 +96,8 @@ func TestPrometheusAgreesWithJSON(t *testing.T) {
 		"cgct_directory_entries":                       float64(jsonM.DirectoryEntries),
 		"cgct_batch_decode_shares_total":               float64(jsonM.TraceCache.DecodeShares),
 		"cgct_parallel_runs_inflight":                  float64(jsonM.ParallelRunsInflight),
+		"cgct_sim_window_stalls_total":                 float64(jsonM.SimWindowStalls),
+		"cgct_sim_partitions_inflight":                 float64(jsonM.SimPartitionsInflight),
 	}
 	for series, v := range want {
 		got, ok := prom[series]

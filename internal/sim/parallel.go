@@ -1,0 +1,622 @@
+// Conservative parallel discrete-event simulation (PDES) of a single
+// run.
+//
+// The global timing wheel is partitioned: each processor node (with its
+// private caches, RCA, NSRT and prefetcher) owns one partition; the
+// coherence fabric, memory controllers, data network and DMA agent form
+// a shared "hub" partition that always executes on the coordinating
+// goroutine. The coordinator repeatedly opens a time window [T0, H)
+// where T0 is the earliest pending event and H is bounded by both the
+// config's PDES lookahead (the minimum latency of any cross-partition
+// interaction) and the earliest pending hub event. Every event inside
+// the window belongs to some node partition and — by the lookahead
+// bound — cannot affect another partition within the window, so the
+// partitions execute concurrently.
+//
+// Bit-identity with a sequential run is preserved by splitting each
+// event in two:
+//
+//   - Phase A (parallel): the partition executes the event against its
+//     node-local state. Every operation that touches shared,
+//     order-sensitive state (the event queue's sequence counter, bus
+//     arbitration, memory-controller bank booking, data-network link
+//     booking, the completion counter) is appended to a per-partition
+//     log instead of performed. Events the node creates inside the
+//     window run locally too, ordered by a key proven equal to the
+//     global (time, seq) order restricted to the partition.
+//   - Phase B (sequential replay): the coordinator merges the
+//     partition logs in exact global (time, seq) order and performs the
+//     deferred shared-state operations. Because the merge order equals
+//     the order a sequential run would have executed the same events,
+//     every Schedule call consumes the same sequence number, every bus
+//     arbitration sees the same queue, and every DRAM bank booking
+//     lands identically — so the next window drains exactly the events
+//     a sequential run would have pending, with the same keys.
+//
+// Runs that the scheme does not cover (directory fabric, request
+// perturbation, debug invariants, a single node) fall back to the
+// sequential loop, which is trivially bit-identical.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cgct/internal/config"
+	"cgct/internal/event"
+	"cgct/internal/faultinject"
+	"cgct/internal/stats"
+)
+
+// Partition-log action kinds (pAction.kind).
+const (
+	// aEvBegin marks the start of one executed event's action block; the
+	// replay asserts it matches the merge order.
+	aEvBegin uint8 = iota
+	// aSched is a deferred Queue.Schedule on the partition's node.
+	aSched
+	// aArb is a deferred bus arbitration: the replay arbitrates,
+	// records the traffic window, and schedules the granted hub event
+	// at grant+SnoopLatency.
+	aArb
+	// aMCWrite is a deferred memory-controller write (u32: 1 = direct).
+	aMCWrite
+	// aDirect is a deferred direct-route data leg: DRAM read, transfer,
+	// link delivery, and the completion-fill schedule.
+	aDirect
+	// aDone is a deferred nodeDone (the node finished its trace).
+	aDone
+)
+
+// pAction is one logged shared-state operation (or event marker).
+type pAction struct {
+	at   event.Cycle
+	u64  uint64
+	u32  uint32
+	kind uint8
+	op   uint8
+	mc   uint16
+	dist uint8
+}
+
+// Local-event classes: events drained out of the global queue order
+// before events created inside the window at the same cycle, because
+// every pending event's sequence number precedes any sequence number
+// allocated later.
+const (
+	clsDrained uint8 = iota
+	clsCreated
+)
+
+// localEv is one entry in a partition's in-window event heap. The key
+// (at, cls, ctr) reproduces the global (at, seq) order restricted to
+// the partition: drained events carry ctr in drain (= seq) order, and
+// created events are created in the order their creators execute —
+// which, by induction over the window, is the partition's slice of the
+// global order.
+type localEv struct {
+	at  event.Cycle
+	ctr uint64
+	u64 uint64
+	u32 uint32
+	cls uint8
+	op  uint8
+}
+
+// partCtx is one node partition's window-execution context.
+type partCtx struct {
+	n *node
+
+	// run shadows the global stats record for the counters node-context
+	// code increments (pure sums — accumulation order is irrelevant).
+	// Folded into System.run once, at the end of the run.
+	run stats.Run
+
+	// log is the window's action log, consumed by the replay via cur.
+	log []pAction
+	cur int
+
+	// heap is the in-window event heap, ordered by (at, cls, ctr).
+	heap []localEv
+	ctr  uint64
+
+	// execAt is the executing event's time — the cycle a sequential
+	// run's queue clock would show. limit is the window end H.
+	execAt event.Cycle
+	limit  event.Cycle
+
+	events uint64 // events executed this window
+	seeded bool   // partition has work this window
+}
+
+// reset prepares the context for a new window ending at limit.
+func (ctx *partCtx) reset(limit event.Cycle) {
+	ctx.log = ctx.log[:0]
+	ctx.cur = 0
+	ctx.ctr = 0
+	ctx.limit = limit
+	ctx.events = 0
+}
+
+func (ctx *partCtx) nextCtr() uint64 {
+	ctx.ctr++
+	return ctx.ctr
+}
+
+func localLess(a, b localEv) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.cls != b.cls {
+		return a.cls < b.cls
+	}
+	return a.ctr < b.ctr
+}
+
+// pushLocal adds an in-window event to the partition heap.
+func (ctx *partCtx) pushLocal(ev localEv) {
+	h := append(ctx.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !localLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	ctx.heap = h
+}
+
+// popLocal removes the least in-window event.
+func (ctx *partCtx) popLocal() localEv {
+	h := ctx.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && localLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && localLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	ctx.heap = h
+	return top
+}
+
+// runWindow executes the partition's seeded (and self-created) events
+// in local order — Phase A. Runs on a worker goroutine (or inline on
+// the coordinator when only one partition has work).
+func (ctx *partCtx) runWindow() {
+	n := ctx.n
+	for len(ctx.heap) > 0 {
+		ev := ctx.popLocal()
+		ctx.execAt = ev.at
+		ctx.log = append(ctx.log, pAction{kind: aEvBegin, at: ev.at, op: ev.op, u32: ev.u32, u64: ev.u64})
+		ctx.events++
+		n.HandleEvent(ev.at, ev.op, ev.u32, ev.u64)
+	}
+}
+
+// mergeEv is one pending event in the replay's global merge order.
+type mergeEv struct {
+	at   event.Cycle
+	seq  uint64
+	part int32
+}
+
+// parRunner drives the windowed execution: partition contexts, the
+// worker pool, the drain buffer, the replay merge heap, and the
+// hub-event time heap.
+type parRunner struct {
+	s *System
+	f *snoopFabric
+
+	parts []*partCtx
+	// partEvents[i] counts events executed by node i's partition;
+	// the final slot counts hub events (executed sequentially).
+	partEvents []uint64
+
+	buf   []event.Rec // window drain buffer (reused)
+	merge []mergeEv   // replay merge heap, ordered by (at, seq)
+	hub   []event.Cycle
+
+	workCh   chan *partCtx
+	wg       sync.WaitGroup
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// parallelEligible reports whether this run can use the windowed
+// engine. The fallback cases run sequentially and are bit-identical by
+// definition:
+//
+//   - directory fabric: home transactions interleave node and hub
+//     state too finely for the two-phase split;
+//   - request perturbation: the shared RNG is consumed in issue order,
+//     which Phase A does not preserve;
+//   - debug checks: the global data-version map is written from node
+//     context;
+//   - fewer than two nodes: nothing to parallelize.
+func (s *System) parallelEligible() bool {
+	return s.cfg.SimParallelism >= 2 &&
+		!s.cfg.DirectoryEnabled() &&
+		s.cfg.PerturbMaxCycles == 0 &&
+		!s.DebugChecks &&
+		len(s.nodes) >= 2
+}
+
+// newParRunner builds partition contexts and starts the worker pool.
+func newParRunner(s *System) *parRunner {
+	f, ok := s.fabric.(*snoopFabric)
+	if !ok {
+		panic("sim: parallel run requires the snoop fabric")
+	}
+	r := &parRunner{
+		s:          s,
+		f:          f,
+		partEvents: make([]uint64, len(s.nodes)+1),
+		workCh:     make(chan *partCtx),
+	}
+	for _, n := range s.nodes {
+		r.parts = append(r.parts, &partCtx{n: n})
+	}
+	workers := s.cfg.SimParallelism
+	if workers > len(s.nodes) {
+		workers = len(s.nodes)
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for ctx := range r.workCh {
+				r.runOne(ctx)
+			}
+		}()
+	}
+	return r
+}
+
+// runOne executes one partition window on a worker, capturing panics
+// for the coordinator to re-raise.
+func (r *parRunner) runOne(ctx *partCtx) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.panicMu.Lock()
+			if r.panicVal == nil {
+				r.panicVal = p
+			}
+			r.panicMu.Unlock()
+		}
+		r.wg.Done()
+	}()
+	ctx.runWindow()
+}
+
+// close shuts the worker pool down.
+func (r *parRunner) close() {
+	close(r.workCh)
+}
+
+// hubPush records a pending hub event at cycle at. Hub events bound
+// the window: a window never opens past the earliest one, so when it
+// executes (sequentially, between windows) every partition has already
+// reached its cycle. Entries are lazily deleted — an entry whose event
+// already ran is discarded by nextHub once the clock passes it.
+func (r *parRunner) hubPush(at event.Cycle) {
+	h := append(r.hub, at)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i] >= h[parent] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	r.hub = h
+}
+
+// nextHub pops entries before t0 (their events already executed — no
+// pending event precedes t0) and returns the earliest pending hub time.
+func (r *parRunner) nextHub(t0 event.Cycle) (event.Cycle, bool) {
+	h := r.hub
+	for len(h) > 0 && h[0] < t0 {
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		i := 0
+		for {
+			l, rr := 2*i+1, 2*i+2
+			small := i
+			if l < n && h[l] < h[small] {
+				small = l
+			}
+			if rr < n && h[rr] < h[small] {
+				small = rr
+			}
+			if small == i {
+				break
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	r.hub = h
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0], true
+}
+
+func (r *parRunner) pushMerge(e mergeEv) {
+	h := append(r.merge, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !mergeLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	r.merge = h
+}
+
+func (r *parRunner) popMerge() mergeEv {
+	h := r.merge
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && mergeLess(h[l], h[small]) {
+			small = l
+		}
+		if rr < n && mergeLess(h[rr], h[small]) {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	r.merge = h
+	return top
+}
+
+func mergeLess(a, b mergeEv) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// windowStallsTotal counts windows the coordinator could not open
+// because a hub event was due at (or before) the earliest pending
+// event — the run degrades to one sequential step instead.
+// partitionsInflight is the number of node partitions currently
+// executing window work, summed across concurrent runs.
+var (
+	windowStallsTotal  atomic.Uint64
+	partitionsInflight atomic.Int64
+)
+
+// WindowStallsTotal reports, process-wide, how many PDES windows
+// degraded to a sequential step because a hub event was imminent.
+func WindowStallsTotal() uint64 { return windowStallsTotal.Load() }
+
+// PartitionsInflight reports how many node partitions are executing
+// parallel window work right now, across all in-flight runs.
+func PartitionsInflight() int64 { return partitionsInflight.Load() }
+
+// runParallel is RunContext's windowed main loop.
+func (s *System) runParallel(ctx context.Context) (*stats.Run, error) {
+	r := s.par
+	done := ctx.Done()
+	progress := ProgressFrom(ctx)
+	lookahead := event.Cycle(s.cfg.PDESLookahead())
+	var sinceCheck uint64
+	for {
+		t0, ok := s.queue.PeekTime()
+		if !ok {
+			r.fold()
+			s.collect()
+			return &s.run, nil
+		}
+		var executed uint64
+		if hubT, hubOK := r.nextHub(t0); hubOK && hubT <= t0 {
+			// A hub event is next (or ties with the earliest node
+			// event): every partition is synchronized at this cycle,
+			// so run one event sequentially. Safe unconditionally —
+			// this is exactly the sequential loop's semantics.
+			windowStallsTotal.Add(1)
+			r.partEvents[len(s.nodes)]++
+			s.queue.Step()
+			executed = 1
+		} else {
+			h := t0 + lookahead
+			if hubOK && hubT < h {
+				h = hubT
+			}
+			s.queue.AdvanceTo(t0)
+			executed = r.runWindowed(h)
+		}
+		eventsTotal.Add(executed)
+		if progress != nil {
+			progress.events.Add(executed)
+		}
+		if sinceCheck += executed; sinceCheck >= progressChunkEvents {
+			sinceCheck = 0
+			if ferr := faultinject.Fire(faultinject.PointSimEventLoop); ferr != nil {
+				return &s.run, ferr
+			}
+			if done != nil {
+				select {
+				case <-done:
+					return &s.run, ctx.Err()
+				default:
+				}
+			}
+		}
+	}
+}
+
+// runWindowed drains, executes and replays one window ending at h.
+// The clock has been advanced to the earliest pending event, which is
+// strictly before h, so at least one event drains.
+func (r *parRunner) runWindowed(h event.Cycle) uint64 {
+	s := r.s
+	r.buf = s.queue.DrainWindow(h, r.buf[:0])
+
+	// Seed: route each drained event to its owning partition's local
+	// heap (in drain = seq order) and to the replay merge heap.
+	active := 0
+	var only *partCtx
+	for i := range r.buf {
+		rec := &r.buf[i]
+		n, ok := rec.H.(*node)
+		if !ok {
+			panic(fmt.Sprintf("sim: pdes window drained a non-partition event at cycle %d", rec.At))
+		}
+		ctx := r.parts[n.id]
+		if !ctx.seeded {
+			ctx.reset(h)
+			ctx.seeded = true
+			n.exec = ctx
+			active++
+			only = ctx
+		}
+		ctx.pushLocal(localEv{at: rec.At, cls: clsDrained, ctr: ctx.nextCtr(), op: rec.Op, u32: rec.U32, u64: rec.U64})
+		r.pushMerge(mergeEv{at: rec.At, seq: rec.Seq, part: int32(n.id)})
+	}
+
+	// Phase A: execute partitions. A single active partition runs
+	// inline — dispatching one goroutine would only add latency.
+	partitionsInflight.Add(int64(active))
+	if active == 1 {
+		only.runWindow()
+	} else {
+		r.wg.Add(active)
+		for _, ctx := range r.parts {
+			if ctx.seeded {
+				r.workCh <- ctx
+			}
+		}
+		r.wg.Wait()
+		if p := r.panicVal; p != nil {
+			r.panicVal = nil
+			partitionsInflight.Add(-int64(active))
+			panic(p)
+		}
+	}
+	partitionsInflight.Add(-int64(active))
+
+	var executed uint64
+	for _, ctx := range r.parts {
+		if !ctx.seeded {
+			continue
+		}
+		ctx.n.exec = nil
+		r.partEvents[ctx.n.id] += ctx.events
+		executed += ctx.events
+	}
+
+	// Phase B: replay the logs in global order.
+	r.replay(h)
+	for _, ctx := range r.parts {
+		if ctx.seeded {
+			if ctx.cur != len(ctx.log) {
+				panic("sim: pdes replay left unconsumed partition log entries")
+			}
+			ctx.seeded = false
+		}
+	}
+	return executed
+}
+
+// replay consumes the partition logs in exact global (time, seq) order
+// — the order a sequential run would have executed the same events —
+// performing every deferred shared-state operation at the position its
+// sequential counterpart would occupy.
+func (r *parRunner) replay(h event.Cycle) {
+	s := r.s
+	for len(r.merge) > 0 {
+		e := r.popMerge()
+		ctx := r.parts[e.part]
+		if ctx.cur >= len(ctx.log) || ctx.log[ctx.cur].kind != aEvBegin || ctx.log[ctx.cur].at != e.at {
+			panic("sim: pdes replay desynchronized from partition log")
+		}
+		ctx.cur++
+		for ctx.cur < len(ctx.log) && ctx.log[ctx.cur].kind != aEvBegin {
+			a := ctx.log[ctx.cur]
+			ctx.cur++
+			switch a.kind {
+			case aSched:
+				if a.at < h {
+					// Already executed locally in Phase A: consume the
+					// sequence number at the position the sequential
+					// run's Schedule call would, and keep it in the
+					// merge so its own log block replays in order.
+					r.pushMerge(mergeEv{at: a.at, seq: s.queue.AllocSeq(), part: e.part})
+				} else {
+					s.queue.Schedule(a.at, ctx.n, a.op, a.u32, a.u64)
+				}
+			case aArb:
+				grant := r.f.abus.Arbitrate(a.at)
+				s.run.Windows.Record(grant)
+				at := grant + event.Cycle(s.cfg.Net.SnoopLatency)
+				s.queue.Schedule(at, ctx.n, a.op, a.u32, a.u64)
+				r.hubPush(at)
+			case aMCWrite:
+				s.mcs[a.mc].Write(a.at, a.u32 == 1)
+			case aDirect:
+				ready := s.mcs[a.mc].Read(a.at, true, 0)
+				ready += event.Cycle(s.cfg.Net.TransferLatency(config.Distance(a.dist)))
+				arrive := s.dnet.Deliver(ctx.n.id, ready)
+				s.queue.Schedule(arrive, ctx.n, nodeOpCompleteFill, a.u32, a.u64)
+			case aDone:
+				s.nodeDone(a.at)
+			default:
+				panic("sim: unknown pdes action kind")
+			}
+		}
+	}
+}
+
+// fold adds the partitions' shadow statistics into the run record,
+// once, at the end of the run. Only counters node-context code
+// increments through runSink appear here; everything else is written
+// immediately (hub context or replay) or folded by collect.
+func (r *parRunner) fold() {
+	run := &r.s.run
+	for _, ctx := range r.parts {
+		sh := &ctx.run
+		for k := range sh.Requests {
+			run.Requests[k] += sh.Requests[k]
+			run.Broadcasts[k] += sh.Broadcasts[k]
+			run.Directs[k] += sh.Directs[k]
+			run.LocalDones[k] += sh.LocalDones[k]
+		}
+		for i := range sh.RegionStateAtLookup {
+			run.RegionStateAtLookup[i] += sh.RegionStateAtLookup[i]
+		}
+		run.DemandMisses += sh.DemandMisses
+		run.DemandMissCycles += sh.DemandMissCycles
+	}
+}

@@ -25,18 +25,23 @@ func newSnoopFabric(s *System) *snoopFabric {
 	return &snoopFabric{s: s, abus: bus.NewAddressBus(s.cfg.Net)}
 }
 
-// issue implements coherenceFabric.
+// issue implements coherenceFabric. It runs in two contexts: node
+// context (misses, store upgrades, prefetches, evictions found while the
+// node executes — possibly inside a PDES window, where shared-state
+// operations defer to the partition log) and hub context (write-backs
+// forced by a broadcast's cache allocation, always immediate).
 func (f *snoopFabric) issue(n *node, kind coherence.ReqKind, line addr.LineAddr, t event.Cycle, forStore bool) {
 	s := f.s
 	t = s.perturb(t)
-	s.run.Requests[kind]++
+	rp := n.runSink()
+	rp.Requests[kind]++
 
 	region := s.geom.RegionOfLine(line)
 	route := core.RouteBroadcast
 	regionMC := s.topo.HomeControllerRegion(region)
 	if n.rca != nil {
 		st := n.rca.Lookup(region)
-		s.run.RegionStateAtLookup[st]++
+		rp.RegionStateAtLookup[st]++
 		route = n.protocol.Route(st, kind)
 		if e := n.rca.Probe(region); e != nil {
 			regionMC = e.MemCtrl
@@ -54,45 +59,61 @@ func (f *snoopFabric) issue(n *node, kind coherence.ReqKind, line addr.LineAddr,
 
 	if kind == coherence.ReqWriteback {
 		if route == core.RouteDirect {
-			s.run.Directs[kind]++
+			rp.Directs[kind]++
 			f.writebackToMC(n, line, regionMC, t, true)
 		} else {
-			s.run.Broadcasts[kind]++
-			grant := f.abus.Arbitrate(t)
-			s.run.Windows.Record(grant)
-			s.queue.Schedule(grant, n, nodeOpWritebackBcast, 0, uint64(line))
+			rp.Broadcasts[kind]++
+			f.busSchedule(n, t, nodeOpWritebackBcast, 0, uint64(line))
 		}
 		return
 	}
 
 	switch route {
 	case core.RouteLocal:
-		s.run.LocalDones[kind]++
+		rp.LocalDones[kind]++
 		if s.DebugChecks {
 			s.checkNonBroadcastSafe(n, kind, line, t, "local")
 		}
 		n.applyLocalRoute(kind, line, region)
 		n.outstanding++
-		s.queue.Schedule(t, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+		n.schedEvent(t, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
 	case core.RouteDirect:
-		s.run.Directs[kind]++
+		rp.Directs[kind]++
 		n.outstanding++
-		arrive := n.applyDirectRoute(kind, line, region, regionMC, t)
-		s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+		arrive := n.applyDirectRoute(kind, line, region, regionMC, t, forStore)
+		if n.exec == nil {
+			s.queue.Schedule(arrive, n, nodeOpCompleteFill, packReq(kind, forStore), uint64(line))
+		}
 	default: // broadcast
-		s.run.Broadcasts[kind]++
+		rp.Broadcasts[kind]++
 		n.outstanding++
 		if _, dup := n.pending[line]; !dup {
 			n.pending[line] = n.newMSHR()
 		}
-		grant := f.abus.Arbitrate(t)
-		s.run.Windows.Record(grant)
-		s.queue.Schedule(grant, n, nodeOpBroadcast, packReq(kind, forStore), uint64(line))
+		f.busSchedule(n, t, nodeOpBroadcast, packReq(kind, forStore), uint64(line))
 		return
 	}
 	if _, dup := n.pending[line]; !dup {
 		n.pending[line] = n.newMSHR()
 	}
+}
+
+// busSchedule arbitrates for the address bus and schedules the granted
+// hub event at grant+SnoopLatency — the cycle its snoop results become
+// visible system-wide, which is what lets every bus transaction clear
+// the conservative-PDES lookahead window. Inside a window the
+// arbitration itself is deferred to the coordinator's ordered replay.
+func (f *snoopFabric) busSchedule(n *node, t event.Cycle, op uint8, u32 uint32, u64 uint64) {
+	s := f.s
+	if ctx := n.exec; ctx != nil {
+		ctx.log = append(ctx.log, pAction{kind: aArb, at: t, op: op, u32: u32, u64: u64})
+		return
+	}
+	grant := f.abus.Arbitrate(t)
+	s.run.Windows.Record(grant)
+	at := grant + event.Cycle(s.cfg.Net.SnoopLatency)
+	s.queue.Schedule(at, n, op, u32, u64)
+	s.hubScheduled(at)
 }
 
 // writebackToMC sends dirty data to memory controller mc (direct path when
@@ -106,16 +127,25 @@ func (f *snoopFabric) writebackToMC(n *node, line addr.LineAddr, mc int, t event
 	} else {
 		lat = s.cfg.Net.SnoopLatency
 	}
-	s.mcs[mc].Write(t+event.Cycle(lat), direct)
+	at := t + event.Cycle(lat)
+	if ctx := n.exec; ctx != nil {
+		u32 := uint32(0)
+		if direct {
+			u32 = 1
+		}
+		ctx.log = append(ctx.log, pAction{kind: aMCWrite, at: at, mc: uint16(mc), u32: u32})
+		return
+	}
+	s.mcs[mc].Write(at, direct)
 }
 
 // flushWriteback implements coherenceFabric: the region-eviction flush
 // path goes direct to the victim entry's controller.
 func (f *snoopFabric) flushWriteback(n *node, line addr.LineAddr, mc int, t event.Cycle) {
-	s := f.s
-	s.run.Requests[coherence.ReqWriteback]++
-	s.run.Directs[coherence.ReqWriteback]++
-	f.writebackToMC(n, line, mc, s.perturb(t), true)
+	rp := n.runSink()
+	rp.Requests[coherence.ReqWriteback]++
+	rp.Directs[coherence.ReqWriteback]++
+	f.writebackToMC(n, line, mc, f.s.perturb(t), true)
 }
 
 // lineEvicted implements coherenceFabric: snooping needs no replacement
@@ -123,17 +153,21 @@ func (f *snoopFabric) flushWriteback(n *node, line addr.LineAddr, mc int, t even
 func (f *snoopFabric) lineEvicted(n *node, line addr.LineAddr) {}
 
 // handle implements coherenceFabric (the snoop-owned event op codes).
+// Bus-granted events are scheduled at grant+SnoopLatency (busSchedule),
+// so the grant is recovered by subtracting the snoop latency.
 func (f *snoopFabric) handle(n *node, now event.Cycle, op uint8, u32 uint32, u64 uint64) {
+	grant := now - event.Cycle(f.s.cfg.Net.SnoopLatency)
 	switch op {
 	case nodeOpBroadcast:
 		kind, forStore := unpackReq(u32)
 		line := addr.LineAddr(u64)
-		f.performBroadcast(n, kind, line, f.s.geom.RegionOfLine(line), now, forStore)
+		f.performBroadcast(n, kind, line, f.s.geom.RegionOfLine(line), grant, forStore)
 	case nodeOpWritebackBcast:
 		line := addr.LineAddr(u64)
-		// Write-backs are always unnecessary broadcasts (§5.1).
+		// Write-backs are always unnecessary broadcasts (§5.1). The data
+		// reaches memory at grant+SnoopLatency — this event's time.
 		f.s.run.OracleUnnecessary[stats.CatWriteback]++
-		f.writebackToMC(n, line, f.s.topo.HomeController(addr.Addr(line)), now, false)
+		f.writebackToMC(n, line, f.s.topo.HomeController(addr.Addr(line)), grant, false)
 	case nodeOpRegionProbe:
 		f.performRegionProbe(n, addr.RegionAddr(u64), now)
 	default:
@@ -148,10 +182,12 @@ func (f *snoopFabric) collect(run *stats.Run) {}
 // close implements coherenceFabric.
 func (f *snoopFabric) close() {}
 
-// performBroadcast executes a broadcast at its bus-grant time: snoop every
-// other processor (line state and region state), classify the broadcast
-// with the oracle, apply the conventional MOESI actions and the region-
-// protocol transitions, and schedule the data delivery.
+// performBroadcast executes a broadcast when its combined snoop response
+// resolves, SnoopLatency after the bus grant (the event is scheduled at
+// grant+SnoopLatency; timing below is computed from the recovered grant):
+// snoop every other processor (line state and region state), classify the
+// broadcast with the oracle, apply the conventional MOESI actions and the
+// region-protocol transitions, and schedule the data delivery.
 func (f *snoopFabric) performBroadcast(n *node, kind coherence.ReqKind, line addr.LineAddr, region addr.RegionAddr, grant event.Cycle, forStore bool) {
 	s := f.s
 
@@ -337,13 +373,12 @@ func (f *snoopFabric) maybeProbeNextRegion(n *node, region addr.RegionAddr, now 
 	if uint64(region) < rb || n.rca.Probe(prev) == nil || n.rca.Probe(next) != nil {
 		return
 	}
-	grant := f.abus.Arbitrate(now)
-	s.run.Windows.Record(grant)
-	s.queue.Schedule(grant, n, nodeOpRegionProbe, 0, uint64(next))
+	f.busSchedule(n, now, nodeOpRegionProbe, 0, uint64(next))
 }
 
-// performRegionProbe executes the probe at its bus-grant time.
-func (f *snoopFabric) performRegionProbe(n *node, region addr.RegionAddr, grant event.Cycle) {
+// performRegionProbe executes the probe when its snoop results become
+// visible (grant+SnoopLatency).
+func (f *snoopFabric) performRegionProbe(n *node, region addr.RegionAddr, now event.Cycle) {
 	s := f.s
 	if n.rca == nil || n.rca.Probe(region) != nil {
 		return // raced with a demand allocation
@@ -362,7 +397,7 @@ func (f *snoopFabric) performRegionProbe(n *node, region addr.RegionAddr, grant 
 		s.run.RegionProbes++
 	}
 	if s.DebugChecks {
-		s.checkRegionExclusivity(region, grant)
+		s.checkRegionExclusivity(region, now)
 	}
 }
 

@@ -1,0 +1,142 @@
+package cgct
+
+// Bit-identity contract of the parallel (PDES) engine: a run executed
+// with SimParallelism >= 2 must reproduce every statistics counter of
+// the sequential run exactly — parallelism is an execution strategy,
+// never a model change. The sweep covers the five fabric variants
+// (snooping baseline, CGCT, scaled-back CGCT with the §6 extensions,
+// RegionScout with DMA injection, directory+CGCT) so every routing path
+// crosses the window machinery; the directory variant falls back to the
+// sequential engine and pins that the fallback is transparent.
+
+import (
+	"reflect"
+	"testing"
+
+	"cgct/internal/sim"
+	"cgct/internal/workload"
+)
+
+// pdesCases returns the fabric variants of the bit-identity sweep.
+func pdesCases() []goldenCase {
+	const ops = 25_000
+	const seed = 11
+	return []goldenCase{
+		{"snoop-baseline", "ocean", Options{OpsPerProc: ops, Seed: seed}},
+		{"snoop-cgct", "tpc-w", Options{OpsPerProc: ops, Seed: seed, CGCT: true}},
+		{"snoop-cgct-scaled", "tpc-b", Options{OpsPerProc: ops, Seed: seed, CGCT: true,
+			ScaledBack: true, RegionPrefetch: true, Processors: 8}},
+		{"regionscout-dma", "tpc-w", Options{OpsPerProc: ops, Seed: seed, RegionScout: true,
+			DMAIntervalCycles: 3000}},
+		{"directory-cgct", "ocean", Options{OpsPerProc: ops, Seed: seed, CGCT: true,
+			Fabric: "directory"}},
+	}
+}
+
+// runWithParallelism executes one case at the given SimParallelism and
+// returns the flattened counters plus the per-partition event counts.
+func runWithParallelism(t *testing.T, c goldenCase, par int) (map[string]uint64, []uint64) {
+	t.Helper()
+	c.Opts.SimParallelism = par
+	cfg, o := buildConfig(c.Opts)
+	w, err := workload.Build(c.Benchmark, workload.Params{
+		Processors: o.Processors,
+		OpsPerProc: o.OpsPerProc,
+		Seed:       o.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	system, err := sim.New(cfg, w, o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := system.Run()
+	return flatten(run), system.PartitionEvents()
+}
+
+func TestPDESBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	for _, c := range pdesCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			seq, seqParts := runWithParallelism(t, c, 1)
+			if seqParts != nil {
+				t.Fatalf("SimParallelism=1 used the parallel engine (partitions %v)", seqParts)
+			}
+			for _, par := range []int{2, 4} {
+				got, parts := runWithParallelism(t, c, par)
+				for counter, want := range seq {
+					if gv := got[counter]; gv != want {
+						t.Errorf("par=%d: %s = %d, sequential run has %d", par, counter, gv, want)
+					}
+				}
+				if len(got) != len(seq) {
+					t.Errorf("par=%d: counter sets differ (%d vs %d)", par, len(got), len(seq))
+				}
+				if c.Opts.Fabric == "directory" {
+					if parts != nil {
+						t.Errorf("par=%d: directory run must fall back to sequential, got partitions %v", par, parts)
+					}
+					continue
+				}
+				if parts == nil {
+					t.Fatalf("par=%d: eligible run did not engage the parallel engine", par)
+				}
+				var partTotal uint64
+				for _, n := range parts {
+					partTotal += n
+				}
+				if partTotal == 0 {
+					t.Errorf("par=%d: partitions executed no events", par)
+				}
+			}
+		})
+	}
+}
+
+// TestPDESRepeatable pins that the parallel engine itself is
+// deterministic: two parallel runs of one configuration are identical
+// (worker scheduling never leaks into results).
+func TestPDESRepeatable(t *testing.T) {
+	c := goldenCase{"snoop-cgct", "tpc-w", Options{OpsPerProc: 15_000, Seed: 3, CGCT: true}}
+	a, _ := runWithParallelism(t, c, 4)
+	b, _ := runWithParallelism(t, c, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical parallel runs produced different statistics")
+	}
+}
+
+// TestPDESThroughAPI runs the public entry point with SimParallelism
+// set: Result counters must match the sequential Result, PartitionEvents
+// must surface, and the echoed option must round-trip.
+func TestPDESThroughAPI(t *testing.T) {
+	opts := Options{OpsPerProc: 10_000, Seed: 5, CGCT: true}
+	seq, err := Run("ocean", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SimParallelism = 4
+	par, err := Run("ocean", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.SimParallelism != 4 || seq.SimParallelism != 0 {
+		t.Errorf("SimParallelism echo: got %d/%d", seq.SimParallelism, par.SimParallelism)
+	}
+	if len(par.PartitionEvents) != 5 { // 4 processors + the hub partition
+		t.Errorf("PartitionEvents = %v, want 5 slots", par.PartitionEvents)
+	}
+	if seq.PartitionEvents != nil {
+		t.Errorf("sequential run reported PartitionEvents %v", seq.PartitionEvents)
+	}
+	// Everything but the execution-strategy fields must be identical.
+	seqCmp, parCmp := *seq, *par
+	seqCmp.SimParallelism, parCmp.SimParallelism = 0, 0
+	seqCmp.PartitionEvents, parCmp.PartitionEvents = nil, nil
+	if !reflect.DeepEqual(seqCmp, parCmp) {
+		t.Errorf("parallel Result diverges from sequential:\nseq: %+v\npar: %+v", seqCmp, parCmp)
+	}
+}

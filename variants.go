@@ -7,6 +7,12 @@ package cgct
 // simulator instances share no mutable state, every batched run is
 // bit-identical to the same configuration run alone — determinism is the
 // contract that makes this safe (see DESIGN.md §11).
+//
+// Intra-run parallelism (Options.SimParallelism, DESIGN.md §16) composes
+// conservatively: multi-variant lockstep batches run each system
+// sequentially (the batch already keeps the machine busy), while
+// single-variant batches run solo and honour SimParallelism. Results are
+// bit-identical under every combination.
 
 import (
 	"context"
@@ -206,6 +212,26 @@ func execBatch(ctx context.Context, b *runBatch, results []*Result) error {
 	}
 	if err != nil {
 		return err
+	}
+	if len(b.items) == 1 {
+		// A lone variant has no decode to share; run it solo so a
+		// SimParallelism request can engage the windowed (PDES) engine —
+		// under lockstep, intra-run parallelism is disabled (results are
+		// identical either way; only wall-clock differs).
+		it := b.items[0]
+		s, serr := sim.New(it.cfg, tr.Workload(), it.opts.Seed)
+		if serr != nil {
+			return serr
+		}
+		s.DebugChecks = it.opts.DebugChecks
+		run, rerr := s.RunContext(ctx)
+		if rerr != nil {
+			return rerr
+		}
+		res := summarize(b.key.benchmark, it.opts, run)
+		res.PartitionEvents = s.PartitionEvents()
+		results[it.idx] = res
+		return nil
 	}
 	ws := trace.NewFanout(tr, len(b.items)).Workloads()
 	systems := make([]*sim.System, len(b.items))
