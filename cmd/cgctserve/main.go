@@ -7,7 +7,9 @@
 //
 //	cgctserve -addr :8080 -workers 8 -queue 64 -cache 1024
 //	cgctserve -store /var/lib/cgct   # crash-safe result/trace spill; warm restarts
-//	cgctserve -self http://a:8080 -peers http://a:8080,http://b:8080
+//	cgctserve -store /var/lib/cgct -store-max-bytes 10737418240 -scrub-interval 5s
+//	cgctserve -self http://a:8080 -peers http://a:8080,http://b:8080 -replication 2
+//	cgctserve -self http://d:8080 -join http://a:8080   # join a running fleet
 //	cgctserve -smoke            # self-test: serve, submit, verify, drain
 //
 // API (see README "Running the server" for curl examples):
@@ -62,9 +64,13 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		traceOut = flag.String("trace-out", "", "write completed jobs' phase spans as chrome://tracing JSON to this path on shutdown")
 		logFmt   = flag.String("log-format", "text", "structured log encoding on stderr: text or json")
-		storeDir = flag.String("store", "", "persistent store directory: results and compiled traces spill here crash-safely and restarts warm-start from it (empty = no persistence)")
-		peersStr = flag.String("peers", "", "comma-separated cluster peer base URLs (http://host:port); empty = standalone")
-		selfURL  = flag.String("self", "", "this node's advertised base URL, required with -peers")
+		storeDir  = flag.String("store", "", "persistent store directory: results and compiled traces spill here crash-safely and restarts warm-start from it (empty = no persistence)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "byte cap on the persistent store; least-recently-used entries are evicted past it (0 = unlimited)")
+		scrubBeat = flag.Duration("scrub-interval", 0, "re-verify one store entry's integrity per interval, quarantining corruption and restoring it from replicas (0 = disabled)")
+		peersStr  = flag.String("peers", "", "comma-separated cluster peer base URLs (http://host:port); empty = standalone")
+		selfURL   = flag.String("self", "", "this node's advertised base URL, required with -peers or -join")
+		joinSeed  = flag.String("join", "", "base URL of a running fleet member to join through (membership then spreads by gossip)")
+		replicas  = flag.Int("replication", 1, "replicate each result to this many ring owners (1 = owner only)")
 	)
 	flag.Parse()
 
@@ -91,7 +97,9 @@ func main() {
 		DefaultTimeout: *timeout, WatchdogStall: *stall, Logger: logger,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(store.Options{Dir: *storeDir, Logger: logger})
+		st, err := store.Open(store.Options{
+			Dir: *storeDir, MaxBytes: *storeMax, ScrubInterval: *scrubBeat, Logger: logger,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cgctserve: %v\n", err)
 			os.Exit(2)
@@ -100,16 +108,28 @@ func main() {
 		// Compiled traces spill into the same store, so a warm restart
 		// skips trace compilation as well as simulation.
 		trace.SetPersistentStore(st)
-		logger.Info("persistent store open", "dir", st.Dir())
+		logger.Info("persistent store open",
+			"dir", st.Dir(), "max_bytes", *storeMax, "scrub_interval", scrubBeat.String())
 	}
-	if *peersStr != "" {
-		cl, err := buildCluster(*selfURL, *peersStr, logger)
+	if *peersStr != "" || *joinSeed != "" {
+		cl, err := buildCluster(*selfURL, *peersStr, *replicas, logger)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cgctserve: %v\n", err)
 			os.Exit(2)
 		}
+		if *joinSeed != "" {
+			// Best-effort: a seed that is down must not keep the node from
+			// serving — the probe-time gossip retries membership later.
+			jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := cl.Join(jctx, *joinSeed); err != nil {
+				logger.Warn("join failed, serving standalone until gossip finds the fleet",
+					"seed", *joinSeed, "error", err.Error())
+			}
+			jcancel()
+		}
 		opts.Cluster = cl
-		logger.Info("clustered", "self", cl.Self(), "peers", *peersStr)
+		logger.Info("clustered",
+			"self", cl.Self(), "members", len(cl.Members()), "replication", *replicas)
 	}
 	if *smoke {
 		if err := runSmoke(opts, *drain, *traceOut); err != nil {
@@ -126,24 +146,20 @@ func main() {
 }
 
 // buildCluster validates -self/-peers and assembles the routing layer.
-// Both go through ParsePeers, so a URL that would misroute fetches (path,
-// query, userinfo) dies here at startup, not quietly in production.
-func buildCluster(self, peers string, logger *slog.Logger) (*cluster.Cluster, error) {
+// Both go through the same normaliser, so a URL that would misroute
+// fetches (path, query, userinfo) dies here at startup, not quietly in
+// production.
+func buildCluster(self, peers string, replication int, logger *slog.Logger) (*cluster.Cluster, error) {
 	if self == "" {
-		return nil, errors.New("-peers requires -self (this node's advertised base URL)")
-	}
-	selves, err := cluster.ParsePeers(self)
-	if err != nil {
-		return nil, err
-	}
-	if len(selves) != 1 {
-		return nil, fmt.Errorf("-self %q must be exactly one base URL", self)
+		return nil, errors.New("-peers/-join require -self (this node's advertised base URL)")
 	}
 	peerList, err := cluster.ParsePeers(peers)
 	if err != nil {
 		return nil, err
 	}
-	return cluster.New(cluster.Config{Self: selves[0], Peers: peerList, Logger: logger})
+	return cluster.New(cluster.Config{
+		Self: self, Peers: peerList, Replication: replication, Logger: logger,
+	})
 }
 
 // buildLogger constructs the process logger: structured slog on stderr in

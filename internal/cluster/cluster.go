@@ -19,7 +19,11 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -61,6 +65,16 @@ type Config struct {
 	// Replicas is the number of virtual nodes per peer on the hash ring
 	// (default 64).
 	Replicas int
+	// Replication is R, the number of distinct ring owners each result is
+	// replicated to (default 1 = owner only, no replication). Fetches fall
+	// through owner → replicas in ring order before the caller simulates.
+	Replication int
+	// ForgetFailures is how many consecutive failed probes remove a peer
+	// from the membership entirely (vnodes deleted) rather than merely
+	// marking it dead. 0 disables forgetting: evicted peers stay known and
+	// are reinstated on recovery. Must exceed ProbeFailures to be useful —
+	// a peer is always evicted before it is forgotten.
+	ForgetFailures int
 
 	// FetchTimeout bounds each fetch attempt (default 2s); the peer is a
 	// shortcut, so the deadline is deliberately short relative to a
@@ -94,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 64
 	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
 	if c.FetchTimeout <= 0 {
 		c.FetchTimeout = 2 * time.Second
 	}
@@ -121,6 +138,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// NormalizeBaseURL parses one advertised base URL into its canonical
+// form ("scheme://host[:port]", no trailing slash). Every membership
+// entry — flag-parsed peers, Config.Self, and URLs arriving through the
+// join protocol — goes through this one function, so the same node can
+// never sit on the ring under two spellings (e.g. with and without a
+// trailing slash, which would make it fetch from itself).
+func NormalizeBaseURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", errors.New("cluster: empty base URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: peer %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: peer %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer %q has no host", raw)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("cluster: peer %q must be scheme://host[:port] only", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
 // ParsePeers parses a comma-separated peer list ("http://a:8080,
 // http://b:8080") into normalised base URLs. Every entry must be an
 // absolute http(s) URL with a host and nothing else — a peer URL with a
@@ -130,24 +174,13 @@ func ParsePeers(list string) ([]string, error) {
 	var out []string
 	seen := make(map[string]bool)
 	for _, raw := range strings.Split(list, ",") {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
+		if strings.TrimSpace(raw) == "" {
 			continue
 		}
-		u, err := url.Parse(raw)
+		norm, err := NormalizeBaseURL(raw)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: peer %q: %w", raw, err)
+			return nil, err
 		}
-		if u.Scheme != "http" && u.Scheme != "https" {
-			return nil, fmt.Errorf("cluster: peer %q: scheme must be http or https", raw)
-		}
-		if u.Host == "" {
-			return nil, fmt.Errorf("cluster: peer %q has no host", raw)
-		}
-		if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" || u.User != nil {
-			return nil, fmt.Errorf("cluster: peer %q must be scheme://host[:port] only", raw)
-		}
-		norm := u.Scheme + "://" + u.Host
 		if !seen[norm] {
 			seen[norm] = true
 			out = append(out, norm)
@@ -171,10 +204,12 @@ type Cluster struct {
 	log  *slog.Logger
 	hc   *http.Client
 
-	mu     sync.Mutex
-	health map[string]*peerHealth
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	health   map[string]*peerHealth
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	wg       sync.WaitGroup
 
 	fetchAttempts atomic.Uint64 // HTTP fetch attempts issued
 	fetchHits     atomic.Uint64 // fetches that returned a result
@@ -182,6 +217,10 @@ type Cluster struct {
 	fetchErrors   atomic.Uint64 // attempts failed (timeout, 5xx, transport, injected)
 	evictions     atomic.Uint64 // peers evicted from the ring
 	recoveries    atomic.Uint64 // peers reinstated after eviction
+	peersAdded    atomic.Uint64 // peers added to the membership (join/exchange)
+	peersRemoved  atomic.Uint64 // peers forgotten after sustained probe failure
+	replPushes    atomic.Uint64 // replica PUTs that landed on a peer
+	replPushErrs  atomic.Uint64 // replica PUTs that failed
 }
 
 // New builds a Cluster. Start launches the health prober; a Cluster is
@@ -191,6 +230,15 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Self == "" {
 		return nil, errors.New("cluster: Config.Self is required")
 	}
+	// Self goes through the same normaliser as ParsePeers: a raw
+	// "-self http://a:8080/" must match the peer list's "http://a:8080",
+	// or the node joins its own ring twice under two names and fetches
+	// from itself.
+	self, err := NormalizeBaseURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: Config.Self: %w", err)
+	}
+	cfg.Self = self
 	members := cfg.Peers
 	found := false
 	for _, p := range members {
@@ -221,23 +269,36 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Self returns this node's advertised URL.
+// Self returns this node's advertised URL (normalised).
 func (c *Cluster) Self() string { return c.cfg.Self }
 
+// Replication returns R: how many distinct ring owners each result
+// should end up on.
+func (c *Cluster) Replication() int { return c.cfg.Replication }
+
 // Start launches the background health prober (no-op when
-// ProbeInterval < 0 or the membership is just this node).
+// ProbeInterval < 0; membership may still grow via joins, so an
+// initially-solo node probes too).
 func (c *Cluster) Start() {
-	if c.cfg.ProbeInterval < 0 || len(c.health) == 0 {
+	if c.cfg.ProbeInterval < 0 {
+		return
+	}
+	c.mu.Lock()
+	already := c.started
+	c.started = true
+	c.mu.Unlock()
+	if already {
 		return
 	}
 	c.wg.Add(1)
 	go c.prober()
 }
 
-// Stop terminates the prober. Idempotent via sync.Once semantics is not
-// needed: Stop is called once by the manager's drain.
+// Stop terminates the prober. Idempotent: the manager's drain and a
+// belt-and-braces caller may both Stop without panicking on the second
+// close.
 func (c *Cluster) Stop() {
-	close(c.stop)
+	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
 }
 
@@ -251,6 +312,21 @@ func (c *Cluster) Owner(key string) (peer string, self bool) {
 		return c.cfg.Self, true
 	}
 	return p, p == c.cfg.Self
+}
+
+// Owners resolves the first r distinct alive peers in ring order for
+// key: the owner first, then the replica holders. With every peer down
+// it degenerates to just self. r <= 0 uses the configured replication
+// factor.
+func (c *Cluster) Owners(key string, r int) []string {
+	if r <= 0 {
+		r = c.cfg.Replication
+	}
+	out := c.ring.owners(key, r)
+	if len(out) == 0 {
+		return []string{c.cfg.Self}
+	}
+	return out
 }
 
 // backoffDelay computes the sleep before retry attempt (0-based):
@@ -294,10 +370,14 @@ func (c *Cluster) Fetch(ctx context.Context, owner, key string) ([]byte, error) 
 		case errors.Is(err, ErrNoResult):
 			c.fetchMisses.Add(1)
 			return nil, err
-		case ctx.Err() != nil:
-			return nil, ctx.Err()
 		}
+		// Every failed attempt counts, including one aborted by the caller's
+		// context dying mid-flight — and the underlying transport error is
+		// preserved alongside the cancellation rather than replaced by it.
 		c.fetchErrors.Add(1)
+		if ctx.Err() != nil {
+			return nil, errors.Join(err, ctx.Err())
+		}
 	}
 	c.log.Info("cluster: peer fetch failed, falling back to local simulation",
 		"owner", owner, "key", shortKey(key), "error", err.Error())
@@ -342,6 +422,169 @@ func (c *Cluster) fetchOnce(ctx context.Context, owner, key string) ([]byte, err
 	}
 }
 
+// DigestHeader carries the sha256 of a replica PUT's body, hex-encoded;
+// the receiver recomputes and rejects mismatches so a truncated or
+// bit-flipped transfer can never land durably under a valid key.
+const DigestHeader = "X-Cgct-Digest"
+
+// Digest returns the hex sha256 of a replica payload — the value of
+// DigestHeader on the wire.
+func Digest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Replicate pushes a result payload to one ring owner via
+// PUT /v1/results/{key}, carrying the payload digest for end-to-end
+// validation. Replication is fire-and-forget bandwidth spent to make
+// churn cheap: any failure is counted and logged, never propagated into
+// a job outcome.
+func (c *Cluster) Replicate(ctx context.Context, peer, key string, payload []byte) error {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPut, peer+"/v1/results/"+key, bytes.NewReader(payload))
+	if err == nil {
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(DigestHeader, Digest(payload))
+		var resp *http.Response
+		resp, err = c.hc.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				err = fmt.Errorf("cluster: replica %s returned HTTP %d for %s", peer, resp.StatusCode, shortKey(key))
+			}
+		}
+	}
+	if err != nil {
+		c.replPushErrs.Add(1)
+		c.log.Info("cluster: replica push failed", "peer", peer, "key", shortKey(key), "error", err.Error())
+		return err
+	}
+	c.replPushes.Add(1)
+	return nil
+}
+
+// JoinRequest is the wire body of POST /v1/cluster/join: the joining
+// (or gossiping) node's advertised base URL.
+type JoinRequest struct {
+	Peer string `json:"peer"`
+}
+
+// JoinResponse is the reply: the receiver's full membership, so one
+// round trip teaches the joiner the whole fleet.
+type JoinResponse struct {
+	Peers []string `json:"peers"`
+}
+
+// AddPeer admits one peer URL into the membership: normalised through
+// the same parser as every other entry, deduplicated against self and
+// existing members, placed on the ring alive. Reports whether the
+// membership actually changed. This is the single mutation point for
+// dynamic membership — the join endpoint and the probe-time exchange
+// both land here.
+func (c *Cluster) AddPeer(raw string) (bool, error) {
+	norm, err := NormalizeBaseURL(raw)
+	if err != nil {
+		return false, err
+	}
+	if norm == c.cfg.Self {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ring.addPeer(norm) {
+		return false, nil
+	}
+	c.health[norm] = &peerHealth{}
+	c.peersAdded.Add(1)
+	c.log.Info("cluster: peer joined membership", "peer", norm)
+	return true, nil
+}
+
+// Members returns the full membership (alive and dead), sorted.
+func (c *Cluster) Members() []string { return c.ring.peers() }
+
+// HandleJoin is the server side of POST /v1/cluster/join: admit the
+// peer, answer with the full membership. Invalid URLs are the caller's
+// 400.
+func (c *Cluster) HandleJoin(raw string) ([]string, error) {
+	if _, err := c.AddPeer(raw); err != nil {
+		return nil, err
+	}
+	return c.Members(), nil
+}
+
+// Join introduces this node to a running fleet through one seed member:
+// POST our URL to the seed's join endpoint and merge the membership it
+// answers with. Bounded retries with the fetch backoff — a seed that is
+// briefly unreachable should not force a fleet restart — then an error;
+// the caller decides whether starting standalone is acceptable.
+func (c *Cluster) Join(ctx context.Context, seed string) error {
+	seedURL, err := NormalizeBaseURL(seed)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < c.cfg.FetchAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.backoffDelay(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+		}
+		var members []string
+		members, err = c.exchange(ctx, seedURL)
+		if err == nil {
+			if _, aerr := c.AddPeer(seedURL); aerr != nil {
+				return aerr
+			}
+			for _, p := range members {
+				c.AddPeer(p) // invalid entries from a hostile seed are skipped
+			}
+			c.log.Info("cluster: joined fleet", "seed", seedURL, "members", len(c.Members()))
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: joining via seed %s: %w", seedURL, err)
+}
+
+// exchange posts our URL to one peer's join endpoint and returns the
+// membership it advertises — the piggybacked gossip that lets a fleet
+// converge on new members without any coordinator.
+func (c *Cluster) exchange(ctx context.Context, peer string) ([]string, error) {
+	body, err := json.Marshal(JoinRequest{Peer: c.cfg.Self})
+	if err != nil {
+		return nil, err
+	}
+	ectx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ectx, http.MethodPost, peer+"/v1/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: join to %s returned HTTP %d", peer, resp.StatusCode)
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr); err != nil {
+		return nil, err
+	}
+	if len(jr.Peers) > 4096 {
+		return nil, fmt.Errorf("cluster: join response advertises %d peers", len(jr.Peers))
+	}
+	return jr.Peers, nil
+}
+
 // prober health-checks every peer on a ticker until Stop.
 func (c *Cluster) prober() {
 	defer c.wg.Done()
@@ -358,14 +601,30 @@ func (c *Cluster) prober() {
 }
 
 // ProbePeers health-checks every peer once, evicting peers past the
-// consecutive-failure threshold and reinstating recovered ones.
-// Exported so tests (and the chaos harness) can drive membership
-// deterministically instead of sleeping through prober ticks.
+// consecutive-failure threshold and reinstating recovered ones. Healthy
+// peers also get a membership exchange piggybacked on the probe, so a
+// join anywhere in the fleet gossips outward one probe interval per hop.
+// Peers past the ForgetFailures threshold are removed from the
+// membership entirely. Exported so tests (and the chaos harness) can
+// drive membership deterministically instead of sleeping through prober
+// ticks.
 func (c *Cluster) ProbePeers(ctx context.Context) {
-	for peer := range c.health {
+	// Snapshot the membership under the lock: joins and forgets mutate
+	// c.health concurrently with a probe round.
+	c.mu.Lock()
+	peers := make([]string, 0, len(c.health))
+	for p := range c.health {
+		peers = append(peers, p)
+	}
+	c.mu.Unlock()
+	for _, peer := range peers {
 		healthy := c.probeOne(ctx, peer)
 		c.mu.Lock()
-		h := c.health[peer]
+		h, ok := c.health[peer]
+		if !ok { // forgotten while we probed it
+			c.mu.Unlock()
+			continue
+		}
 		h.lastProbe = time.Now()
 		if healthy {
 			h.failures = 0
@@ -383,9 +642,36 @@ func (c *Cluster) ProbePeers(ctx context.Context) {
 				c.log.Warn("cluster: peer evicted from ring",
 					"peer", peer, "consecutive_failures", h.failures, "error", h.lastErr)
 			}
+			if c.cfg.ForgetFailures > 0 && h.failures >= c.cfg.ForgetFailures {
+				c.ring.removePeer(peer)
+				delete(c.health, peer)
+				c.peersRemoved.Add(1)
+				c.log.Warn("cluster: peer forgotten after sustained failure",
+					"peer", peer, "consecutive_failures", h.failures)
+			}
 		}
 		c.mu.Unlock()
+		if healthy {
+			// Gossip: swap membership with the healthy peer. Best-effort — an
+			// older peer without the endpoint, or a flaky network, just means
+			// this round taught us nothing.
+			if members, err := c.exchange(ctx, peer); err == nil {
+				for _, p := range members {
+					c.AddPeer(p)
+				}
+			}
+		}
 	}
+}
+
+// setLastErr records a probe failure reason, tolerating the peer having
+// been forgotten between the probe and the record.
+func (c *Cluster) setLastErr(peer, msg string) {
+	c.mu.Lock()
+	if h, ok := c.health[peer]; ok {
+		h.lastErr = msg
+	}
+	c.mu.Unlock()
 }
 
 // probeOne issues one health check. A draining peer answers 503, which
@@ -396,21 +682,20 @@ func (c *Cluster) probeOne(ctx context.Context, peer string) bool {
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, peer+"/v1/healthz", nil)
 	if err != nil {
+		// A malformed peer URL fails every probe the same way; the status
+		// page must say why, not show an empty lastErr forever.
+		c.setLastErr(peer, err.Error())
 		return false
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.mu.Lock()
-		c.health[peer].lastErr = err.Error()
-		c.mu.Unlock()
+		c.setLastErr(peer, err.Error())
 		return false
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		c.mu.Lock()
-		c.health[peer].lastErr = fmt.Sprintf("HTTP %d", resp.StatusCode)
-		c.mu.Unlock()
+		c.setLastErr(peer, fmt.Sprintf("HTTP %d", resp.StatusCode))
 		return false
 	}
 	return true
@@ -429,12 +714,16 @@ type PeerStatus struct {
 
 // Stats is the cluster's monotonic fetch/membership counters.
 type Stats struct {
-	FetchAttempts uint64 `json:"fetch_attempts"`
-	FetchHits     uint64 `json:"fetch_hits"`
-	FetchMisses   uint64 `json:"fetch_misses"`
-	FetchErrors   uint64 `json:"fetch_errors"`
-	Evictions     uint64 `json:"evictions"`
-	Recoveries    uint64 `json:"recoveries"`
+	FetchAttempts     uint64 `json:"fetch_attempts"`
+	FetchHits         uint64 `json:"fetch_hits"`
+	FetchMisses       uint64 `json:"fetch_misses"`
+	FetchErrors       uint64 `json:"fetch_errors"`
+	Evictions         uint64 `json:"evictions"`
+	Recoveries        uint64 `json:"recoveries"`
+	PeersAdded        uint64 `json:"peers_added"`
+	PeersRemoved      uint64 `json:"peers_removed"`
+	ReplicaPushes     uint64 `json:"replica_pushes"`
+	ReplicaPushErrors uint64 `json:"replica_push_errors"`
 }
 
 // Status is the wire form of GET /v1/cluster.
@@ -453,6 +742,11 @@ func (c *Cluster) Stats() Stats {
 		FetchErrors:   c.fetchErrors.Load(),
 		Evictions:     c.evictions.Load(),
 		Recoveries:    c.recoveries.Load(),
+
+		PeersAdded:        c.peersAdded.Load(),
+		PeersRemoved:      c.peersRemoved.Load(),
+		ReplicaPushes:     c.replPushes.Load(),
+		ReplicaPushErrors: c.replPushErrs.Load(),
 	}
 }
 
@@ -503,6 +797,14 @@ func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(c.AlivePeers()) })
 	reg.GaugeFunc("cgct_cluster_peers", "configured ring membership size",
 		func() float64 { return float64(len(c.ring.peers())) })
+	reg.CounterFunc("cgct_cluster_peers_added_total", "peers admitted to the membership via join or gossip",
+		func() float64 { return float64(c.peersAdded.Load()) })
+	reg.CounterFunc("cgct_cluster_peers_removed_total", "peers forgotten after sustained probe failure",
+		func() float64 { return float64(c.peersRemoved.Load()) })
+	reg.CounterFunc("cgct_replication_pushes_total", "result replicas pushed to ring owners",
+		func() float64 { return float64(c.replPushes.Load()) })
+	reg.CounterFunc("cgct_replication_push_errors_total", "result replica pushes that failed",
+		func() float64 { return float64(c.replPushErrs.Load()) })
 }
 
 // shortKey abbreviates a content address for log lines.

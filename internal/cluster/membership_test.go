@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStopIdempotent: Stop must survive being called twice (the
+// manager's drain and a belt-and-braces caller both stop the cluster).
+func TestStopIdempotent(t *testing.T) {
+	c, err := New(Config{Self: "http://self.invalid:1", ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Start()
+	c.Start() // idempotent too: one prober, not two
+	c.Stop()
+	c.Stop() // must not panic on double close
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	c, err := New(Config{Self: "http://self.invalid:1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Stop()
+	c.Stop()
+}
+
+// TestSelfNormalization: a trailing-slash -self must collapse onto the
+// same ring identity as its ParsePeers-normalised spelling, or the node
+// joins the ring twice and fetches from itself.
+func TestSelfNormalization(t *testing.T) {
+	c, err := New(Config{
+		Self:  "http://a:8080/",
+		Peers: []string{"http://a:8080", "http://b:8080"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.Self() != "http://a:8080" {
+		t.Fatalf("Self = %q, want normalised http://a:8080", c.Self())
+	}
+	members := c.Members()
+	if len(members) != 2 {
+		t.Fatalf("members = %v, want exactly [http://a:8080 http://b:8080]", members)
+	}
+	for _, bad := range []string{"", "ftp://a:1", "http://", "http://a:1/v1", "a:8080"} {
+		if _, err := New(Config{Self: bad}); err == nil {
+			t.Errorf("New accepted Self=%q", bad)
+		}
+	}
+}
+
+// TestRingOwners: owners returns distinct alive peers in clockwise
+// order, degrading with deaths.
+func TestRingOwners(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers, 64)
+	for i := 0; i < 200; i++ {
+		k := keyOf(fmt.Sprintf("owners-%d", i))
+		got := r.owners(k, 2)
+		if len(got) != 2 || got[0] == got[1] {
+			t.Fatalf("owners(%s, 2) = %v", k, got)
+		}
+		if first, _ := r.owner(k); first != got[0] {
+			t.Fatalf("owners[0] = %s, owner = %s", got[0], first)
+		}
+		if all := r.owners(k, 99); len(all) != 3 {
+			t.Fatalf("owners(want>peers) = %v", all)
+		}
+	}
+	// A dead peer is skipped; its replica role moves clockwise.
+	r.setAlive("http://b:1", false)
+	for i := 0; i < 200; i++ {
+		k := keyOf(fmt.Sprintf("owners-%d", i))
+		for _, p := range r.owners(k, 2) {
+			if p == "http://b:1" {
+				t.Fatal("dead peer listed as an owner")
+			}
+		}
+	}
+	r.setAlive("http://a:1", false)
+	r.setAlive("http://c:1", false)
+	if got := r.owners(keyOf("x"), 2); got != nil {
+		t.Fatalf("owners with all dead = %v, want nil", got)
+	}
+}
+
+// TestClusterOwnersDegradesToSelf: with every peer dead the owner list
+// is just self — graceful degradation, same as Owner.
+func TestClusterOwnersDegradesToSelf(t *testing.T) {
+	c, err := New(Config{Self: "http://self.invalid:1", Peers: []string{"http://peer.invalid:1"}, Replication: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := c.Owners(keyOf("k"), 0); len(got) != 2 {
+		t.Fatalf("Owners(R=cfg) = %v, want 2 peers", got)
+	}
+	c.ring.setAlive("http://self.invalid:1", false)
+	c.ring.setAlive("http://peer.invalid:1", false)
+	got := c.Owners(keyOf("k"), 0)
+	if len(got) != 1 || got[0] != c.Self() {
+		t.Fatalf("Owners with all dead = %v, want [self]", got)
+	}
+}
+
+// clusterNode is a live Cluster bound to a real httptest server exposing
+// its join and health endpoints — enough surface for membership tests.
+type clusterNode struct {
+	c   *Cluster
+	url string
+}
+
+func newClusterNode(t *testing.T, cfg Config) *clusterNode {
+	t.Helper()
+	n := &clusterNode{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		var jr JoinRequest
+		if err := readJSON(r, &jr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		peers, err := n.c.HandleJoin(jr.Peer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"peers":[%s]}`, `"`+strings.Join(peers, `","`)+`"`)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	n.url = hs.URL
+	cfg.Self = hs.URL
+	cfg.ProbeInterval = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n.c = c
+	return n
+}
+
+func readJSON(r *http.Request, v any) error {
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+// TestJoinAndGossip: a node joins a fleet through one seed; the seed
+// learns the joiner, the joiner learns the fleet, and a third party
+// learns the joiner through the probe-time membership exchange.
+func TestJoinAndGossip(t *testing.T) {
+	ctx := context.Background()
+	a := newClusterNode(t, Config{})
+	b := newClusterNode(t, Config{})
+	cN := newClusterNode(t, Config{})
+
+	// b joins via a: both now know each other.
+	if err := b.c.Join(ctx, a.url+"/"); err != nil { // trailing slash: seed URL is normalised too
+		t.Fatalf("Join: %v", err)
+	}
+	wantMembers(t, b.c, a.url, b.url)
+	wantMembers(t, a.c, a.url, b.url)
+
+	// c joins via a; b has never heard of c.
+	if err := cN.c.Join(ctx, a.url); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	wantMembers(t, a.c, a.url, b.url, cN.url)
+	wantMembers(t, cN.c, a.url, b.url, cN.url)
+
+	// One probe round: b health-checks a (healthy) and swaps membership,
+	// learning c without any direct contact.
+	b.c.ProbePeers(ctx)
+	wantMembers(t, b.c, a.url, b.url, cN.url)
+	if st := b.c.Stats(); st.PeersAdded < 2 {
+		t.Fatalf("peers_added = %d, want >= 2", st.PeersAdded)
+	}
+
+	// The new member owns ring keys immediately (no restart anywhere).
+	owned := false
+	for i := 0; i < 4096 && !owned; i++ {
+		owners := b.c.Owners(keyOf(fmt.Sprintf("join-%d", i)), 1)
+		owned = len(owners) == 1 && owners[0] == cN.url
+	}
+	if !owned {
+		t.Fatal("joined peer owns no keys on the established ring")
+	}
+
+	// Join via an unreachable seed fails after bounded attempts.
+	d := newClusterNode(t, Config{FetchAttempts: 2, FetchBaseDelay: time.Millisecond, FetchMaxDelay: 2 * time.Millisecond, ProbeTimeout: 50 * time.Millisecond})
+	if err := d.c.Join(ctx, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("Join via dead seed succeeded")
+	}
+	if err := d.c.Join(ctx, "not a url"); err == nil {
+		t.Fatal("Join via invalid seed URL succeeded")
+	}
+}
+
+func wantMembers(t *testing.T, c *Cluster, want ...string) {
+	t.Helper()
+	got := c.Members()
+	if len(got) != len(want) {
+		t.Fatalf("members = %v, want %v", got, want)
+	}
+	set := make(map[string]bool, len(got))
+	for _, m := range got {
+		set[m] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Fatalf("members = %v, missing %s", got, w)
+		}
+	}
+}
+
+// TestAddPeerValidation: join bodies are untrusted input — malformed
+// URLs are rejected, self and duplicates are no-ops.
+func TestAddPeerValidation(t *testing.T) {
+	c, err := New(Config{Self: "http://self.invalid:1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.AddPeer("ftp://evil:1"); err == nil {
+		t.Fatal("AddPeer accepted a non-http URL")
+	}
+	if changed, err := c.AddPeer("http://self.invalid:1/"); err != nil || changed {
+		t.Fatalf("AddPeer(self) = %v, %v; want no-op", changed, err)
+	}
+	if changed, _ := c.AddPeer("http://new.invalid:1"); !changed {
+		t.Fatal("AddPeer(new) reported no change")
+	}
+	if changed, _ := c.AddPeer("http://new.invalid:1"); changed {
+		t.Fatal("AddPeer(duplicate) reported a change")
+	}
+	if st := c.Stats(); st.PeersAdded != 1 {
+		t.Fatalf("peers_added = %d, want 1", st.PeersAdded)
+	}
+}
+
+// TestForgetFailures: a peer past the forget threshold is removed from
+// the membership entirely — vnodes gone, health entry gone, counted.
+func TestForgetFailures(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusServiceUnavailable)
+	})
+	c, peerURL := newTestCluster(t, h, Config{ProbeFailures: 1, ForgetFailures: 2})
+	ctx := context.Background()
+	c.ProbePeers(ctx) // failure 1: evicted but still known
+	if len(c.Members()) != 2 {
+		t.Fatal("peer forgotten before the forget threshold")
+	}
+	c.ProbePeers(ctx) // failure 2: forgotten
+	members := c.Members()
+	if len(members) != 1 || members[0] != c.Self() {
+		t.Fatalf("members = %v, want just self", members)
+	}
+	if st := c.Stats(); st.PeersRemoved != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction + 1 removal", st)
+	}
+	// A forgotten peer can rejoin later.
+	if changed, err := c.AddPeer(peerURL); err != nil || !changed {
+		t.Fatalf("AddPeer after forget = %v, %v", changed, err)
+	}
+}
+
+// TestReplicate: the digest travels with the payload, successes and
+// failures are counted separately, and a 2xx is required.
+func TestReplicate(t *testing.T) {
+	payload := []byte(`{"cycles":7}`)
+	var gotDigest atomic.Value
+	var fail atomic.Bool
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+			return
+		}
+		gotDigest.Store(r.Header.Get(DigestHeader))
+		if fail.Load() {
+			http.Error(w, "disk full", http.StatusInsufficientStorage)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	c, peerURL := newTestCluster(t, h, Config{})
+	key := keyOf("replicated")
+	if err := c.Replicate(context.Background(), peerURL, key, payload); err != nil {
+		t.Fatalf("Replicate: %v", err)
+	}
+	if d := gotDigest.Load(); d != Digest(payload) {
+		t.Fatalf("digest header = %v, want %s", d, Digest(payload))
+	}
+	fail.Store(true)
+	if err := c.Replicate(context.Background(), peerURL, key, payload); err == nil {
+		t.Fatal("Replicate against a failing peer succeeded")
+	}
+	if st := c.Stats(); st.ReplicaPushes != 1 || st.ReplicaPushErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 push + 1 error", st)
+	}
+}
+
+// TestFetchCancelPreservesError: a context cancelled mid-attempt must
+// still count the failed attempt and keep the transport error visible
+// alongside the cancellation (satellite: cluster.go fetch accounting).
+func TestFetchCancelPreservesError(t *testing.T) {
+	block := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	})
+	defer close(block)
+	c, peerURL := newTestCluster(t, h, Config{FetchTimeout: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Fetch(ctx, peerURL, keyOf("cancelled-mid-attempt"))
+	if err == nil {
+		t.Fatal("Fetch succeeded against a hung peer")
+	}
+	if !strings.Contains(err.Error(), "/v1/results/") {
+		t.Fatalf("underlying transport error lost: %v", err)
+	}
+	if st := c.Stats(); st.FetchErrors != 1 {
+		t.Fatalf("fetch_errors = %d, want 1 (cancelled attempt must count)", st.FetchErrors)
+	}
+}
+
+// TestProbeRecordsBuildFailure: an unparseable peer URL fails the
+// request build; that failure must land in lastErr so the status page
+// says why the peer is dead (satellite: probeOne cluster.go).
+func TestProbeRecordsBuildFailure(t *testing.T) {
+	bad := "http://bad host:1" // space in host: url.Parse inside NewRequest rejects it
+	c, err := New(Config{Self: "http://self.invalid:1", Peers: []string{"http://self.invalid:1"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Inject the malformed peer below the ParsePeers/AddPeer guards, the
+	// way a stale config file could.
+	c.mu.Lock()
+	c.ring.addPeer(bad)
+	c.health[bad] = &peerHealth{}
+	c.mu.Unlock()
+	c.ProbePeers(context.Background())
+	st := c.Status()
+	found := false
+	for _, p := range st.Peers {
+		if p.URL == bad {
+			found = true
+			if p.LastError == "" {
+				t.Fatal("request-build failure recorded no lastErr")
+			}
+			if p.ConsecutiveFailures != 1 {
+				t.Fatalf("consecutive_failures = %d, want 1", p.ConsecutiveFailures)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("malformed peer missing from status")
+	}
+}

@@ -42,23 +42,69 @@ func newRing(peers []string, replicas int) *ring {
 	}
 	r := &ring{replicas: replicas, alive: make(map[string]bool)}
 	for _, p := range peers {
-		if r.alive[p] {
-			continue // duplicate peer: one membership, one set of vnodes
-		}
-		r.alive[p] = true
-		for i := 0; i < replicas; i++ {
-			var buf [8]byte
-			binary.BigEndian.PutUint64(buf[:], uint64(i))
-			r.vnodes = append(r.vnodes, vnode{hash: hashPoint(p + "#" + string(buf[:])), peer: p})
-		}
+		r.addLocked(p)
 	}
+	r.sortLocked()
+	return r
+}
+
+// addLocked appends one peer's vnodes without re-sorting. Caller holds
+// r.mu (or owns the ring exclusively, as newRing does).
+func (r *ring) addLocked(p string) bool {
+	if _, ok := r.alive[p]; ok {
+		return false // duplicate peer: one membership, one set of vnodes
+	}
+	r.alive[p] = true
+	for i := 0; i < r.replicas; i++ {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		r.vnodes = append(r.vnodes, vnode{hash: hashPoint(p + "#" + string(buf[:])), peer: p})
+	}
+	return true
+}
+
+// sortLocked restores the ring's clockwise order after a membership
+// delta. Caller holds r.mu.
+func (r *ring) sortLocked() {
 	sort.Slice(r.vnodes, func(i, j int) bool {
 		if r.vnodes[i].hash != r.vnodes[j].hash {
 			return r.vnodes[i].hash < r.vnodes[j].hash
 		}
 		return r.vnodes[i].peer < r.vnodes[j].peer // total order: ties cannot flap
 	})
-	return r
+}
+
+// addPeer inserts a new peer (alive) into the ring, rebuilding the
+// clockwise order. Consistent hashing means only the key ranges the new
+// vnodes bisect move — every other key keeps its owner. Reports whether
+// the membership actually changed.
+func (r *ring) addPeer(p string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.addLocked(p) {
+		return false
+	}
+	r.sortLocked()
+	return true
+}
+
+// removePeer deletes a peer and its vnodes entirely (a forgotten member,
+// not merely a dead one). Reports whether the peer was present.
+func (r *ring) removePeer(p string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.alive[p]; !ok {
+		return false
+	}
+	delete(r.alive, p)
+	kept := r.vnodes[:0]
+	for _, v := range r.vnodes {
+		if v.peer != p {
+			kept = append(kept, v)
+		}
+	}
+	r.vnodes = kept
+	return true
 }
 
 // owner returns the alive peer owning key, walking clockwise past dead
@@ -79,6 +125,34 @@ func (r *ring) owner(key string) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// owners returns up to r distinct alive peers in clockwise ownership
+// order from the key's hash point: the first is the owner, the rest are
+// the replica holders the key is pushed to. Fewer than r peers alive
+// yields a shorter list; every peer dead yields nil.
+func (r *ring) owners(key string, want int) []string {
+	if want <= 0 {
+		want = 1
+	}
+	h := hashPoint(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.vnodes)
+	if n == 0 {
+		return nil
+	}
+	start := sort.Search(n, func(i int) bool { return r.vnodes[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool, want)
+	for i := 0; i < n && len(out) < want; i++ {
+		v := r.vnodes[(start+i)%n]
+		if r.alive[v.peer] && !seen[v.peer] {
+			seen[v.peer] = true
+			out = append(out, v.peer)
+		}
+	}
+	return out
 }
 
 // setAlive flips a peer's health, changing which vnodes owner may land

@@ -1,12 +1,15 @@
 package server_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -27,6 +30,8 @@ type fleetNode struct {
 	srv *server.Server
 	hs  *httptest.Server
 	c   *client.Client
+	st  *store.Store
+	cl  *cluster.Cluster
 	url string
 	dir string
 }
@@ -40,57 +45,79 @@ func (n *fleetNode) kill() {
 	n.hs.Close()
 }
 
-// startFleet boots n peers that all know each other's URLs. Listeners
-// come up first (a swappable-handler shim breaks the URL-before-server
-// cycle), then each node's store, cluster and Manager. Cleanup drains
-// every Manager, which stops the probers and flushes + closes the
-// stores.
-func startFleet(t *testing.T, n int) []*fleetNode {
+// bootNode brings up one peer behind an already-listening shim server:
+// store, cluster (config shaped by mut), Manager, and finally the real
+// handler swapped into the shim. peers may be nil for a node that will
+// Join a running fleet instead of being configured with the full list.
+func bootNode(t *testing.T, node *fleetNode, peers []string, mut ...func(*cluster.Config)) {
 	t.Helper()
-	handlers := make([]atomic.Value, n)
+	st, err := store.Open(store.Options{Dir: node.dir})
+	if err != nil {
+		t.Fatalf("node %s: opening store: %v", node.url, err)
+	}
+	cfg := cluster.Config{
+		Self:           node.url,
+		Peers:          peers,
+		Replicas:       16,
+		FetchTimeout:   500 * time.Millisecond,
+		FetchAttempts:  2,
+		FetchBaseDelay: 2 * time.Millisecond,
+		FetchMaxDelay:  10 * time.Millisecond,
+		ProbeInterval:  25 * time.Millisecond,
+		ProbeTimeout:   250 * time.Millisecond,
+		ProbeFailures:  2,
+		HTTPClient:     node.hs.Client(),
+	}
+	for _, m := range mut {
+		m(&cfg)
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatalf("node %s: building cluster: %v", node.url, err)
+	}
+	node.st = st
+	node.cl = cl
+	node.srv = server.New(server.Options{
+		Workers: 2, QueueCapacity: 256, Store: st, Cluster: cl,
+	})
+	node.c = client.New(node.url, node.hs.Client()).WithRetry(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond,
+	})
+}
+
+// shimServer starts a listener whose handler can be swapped in later,
+// breaking the URL-before-server boot cycle.
+func shimServer(t *testing.T) (*fleetNode, *atomic.Value) {
+	t.Helper()
+	slot := new(atomic.Value)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, _ := slot.Load().(http.Handler)
+		if h == nil {
+			http.Error(w, `{"error":"booting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	return &fleetNode{hs: hs, url: hs.URL, dir: t.TempDir()}, slot
+}
+
+// startFleet boots n peers that all know each other's URLs. Listeners
+// come up first, then each node's store, cluster and Manager. mut lets a
+// test reshape every node's cluster config (e.g. turn on replication).
+// Cleanup drains every Manager, which stops the probers and flushes +
+// closes the stores.
+func startFleet(t *testing.T, n int, mut ...func(*cluster.Config)) []*fleetNode {
+	t.Helper()
 	nodes := make([]*fleetNode, n)
+	slots := make([]*atomic.Value, n)
 	urls := make([]string, n)
 	for i := 0; i < n; i++ {
-		i := i
-		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			h, _ := handlers[i].Load().(http.Handler)
-			if h == nil {
-				http.Error(w, `{"error":"booting"}`, http.StatusServiceUnavailable)
-				return
-			}
-			h.ServeHTTP(w, r)
-		}))
-		nodes[i] = &fleetNode{hs: hs, url: hs.URL, dir: t.TempDir()}
-		urls[i] = hs.URL
+		nodes[i], slots[i] = shimServer(t)
+		urls[i] = nodes[i].url
 	}
 	for i, node := range nodes {
-		st, err := store.Open(store.Options{Dir: node.dir})
-		if err != nil {
-			t.Fatalf("node %d: opening store: %v", i, err)
-		}
-		cl, err := cluster.New(cluster.Config{
-			Self:           node.url,
-			Peers:          urls,
-			Replicas:       16,
-			FetchTimeout:   500 * time.Millisecond,
-			FetchAttempts:  2,
-			FetchBaseDelay: 2 * time.Millisecond,
-			FetchMaxDelay:  10 * time.Millisecond,
-			ProbeInterval:  25 * time.Millisecond,
-			ProbeTimeout:   250 * time.Millisecond,
-			ProbeFailures:  2,
-			HTTPClient:     node.hs.Client(),
-		})
-		if err != nil {
-			t.Fatalf("node %d: building cluster: %v", i, err)
-		}
-		node.srv = server.New(server.Options{
-			Workers: 2, QueueCapacity: 256, Store: st, Cluster: cl,
-		})
-		node.c = client.New(node.url, node.hs.Client()).WithRetry(client.RetryPolicy{
-			MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond,
-		})
-		handlers[i].Store(node.srv.Handler())
+		bootNode(t, node, urls, mut...)
+		slots[i].Store(node.srv.Handler())
 	}
 	t.Cleanup(func() {
 		for _, node := range nodes {
@@ -101,6 +128,30 @@ func startFleet(t *testing.T, n int) []*fleetNode {
 		}
 	})
 	return nodes
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// nodeByURL resolves a ring owner URL back to its in-process node.
+func nodeByURL(t *testing.T, nodes []*fleetNode, url string) *fleetNode {
+	t.Helper()
+	for _, n := range nodes {
+		if n.url == url {
+			return n
+		}
+	}
+	t.Fatalf("owner %s is not a fleet node", url)
+	return nil
 }
 
 // clusterView fetches a node's GET /v1/cluster.
@@ -497,5 +548,245 @@ func TestStoreBackedResultEndpoint(t *testing.T) {
 	}
 	if after.JobsSubmitted != 1 {
 		t.Fatalf("result endpoint changed job count: %d", after.JobsSubmitted)
+	}
+}
+
+// TestClusterChaosKillAndRejoin is the replication + membership chaos
+// harness: a three-node fleet with R=2 computes a sweep (each config on
+// exactly one node), replication settles, one peer is killed — and every
+// previously computed key must then be served by the survivors with ZERO
+// re-simulations, bit-identical to the direct runs. A fourth peer then
+// joins through a single seed node and must acquire ring ownership —
+// membership spreading by gossip, replicas starting to land on it — with
+// no fleet restart.
+func TestClusterChaosKillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-peer chaos run is seconds-long; skipped in -short")
+	}
+	withR2 := func(c *cluster.Config) { c.Replication = 2 }
+	nodes := startFleet(t, 3, withR2)
+	ctx := context.Background()
+
+	const seeds = 6
+	mkReq := func(seed uint64) server.JobRequest {
+		return server.JobRequest{
+			Type: server.TypeSim, Benchmark: "ocean",
+			Options: cgct.Options{OpsPerProc: 2_000, Seed: 9_300 + seed},
+		}
+	}
+
+	// Warm sweep: each config computed on exactly one node, so after the
+	// kill nothing is trivially resident fleet-wide — survival depends on
+	// the replicas the computing node pushed.
+	type computed struct {
+		key  string
+		want string
+		home int
+	}
+	sweep := make([]computed, seeds)
+	for s := uint64(0); s < seeds; s++ {
+		home := int(s) % len(nodes)
+		sub, err := nodes[home].c.Submit(ctx, mkReq(s))
+		if err != nil {
+			t.Fatalf("seed %d: submit: %v", s, err)
+		}
+		st, err := nodes[home].c.Wait(ctx, sub.ID, 2*time.Millisecond)
+		if err != nil || st.State != server.StateDone {
+			t.Fatalf("seed %d: %+v, %v", s, st, err)
+		}
+		if st.Key == "" {
+			t.Fatalf("seed %d: done without a content address", s)
+		}
+		sweep[s] = computed{key: st.Key, want: directResult(t, mkReq(s)), home: home}
+	}
+
+	// Replication settled: every ring owner of every key holds it. The
+	// pushes are async, so poll.
+	waitFor(t, 10*time.Second, "replicas to land on all ring owners", func() bool {
+		for _, cfg := range sweep {
+			for _, owner := range nodes[0].cl.Owners(cfg.key, 2) {
+				if !nodeByURL(t, nodes, owner).st.Has(cfg.key) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// Kill one peer abruptly; wait until BOTH survivors evict it, so
+	// subsequent fetches route only across live replicas.
+	dead := nodes[2]
+	dead.kill()
+	survivors := nodes[:2]
+	for _, node := range survivors {
+		node := node
+		waitFor(t, 10*time.Second, "survivors to evict the dead peer", func() bool {
+			for _, p := range clusterView(t, node).Peers {
+				if p.URL == dead.url {
+					return !p.Alive
+				}
+			}
+			return false
+		})
+	}
+
+	// Every previously computed key, resubmitted to every survivor, must
+	// be served from the surviving copies — result_source anything but
+	// "sim" — and bit-identical to the direct run.
+	for s, cfg := range sweep {
+		for _, node := range survivors {
+			sub, err := node.c.Submit(ctx, mkReq(uint64(s)))
+			if err != nil {
+				t.Fatalf("seed %d resubmit to %s: %v", s, node.url, err)
+			}
+			st, err := node.c.Wait(ctx, sub.ID, 2*time.Millisecond)
+			if err != nil || st.State != server.StateDone {
+				t.Fatalf("seed %d resubmit on %s: %+v, %v", s, node.url, st, err)
+			}
+			if st.ResultSource == "sim" {
+				t.Errorf("seed %d re-simulated on %s after peer death (home %d, key %s): replicas lost",
+					s, node.url, cfg.home, cfg.key[:8])
+			}
+			var res cgct.Result
+			if _, err := node.c.Result(ctx, sub.ID, &res); err != nil {
+				t.Fatalf("seed %d result: %v", s, err)
+			}
+			if got := canonicalServedResult(t, res); got != cfg.want {
+				t.Errorf("seed %d via %s diverged after failover\n got: %s\nwant: %s",
+					s, node.url, got, cfg.want)
+			}
+		}
+	}
+
+	// A fresh peer joins through one seed node — no restart, no static
+	// peer list — and the whole surviving fleet must learn it by gossip.
+	joiner, slot := shimServer(t)
+	bootNode(t, joiner, nil, withR2)
+	slot.Store(joiner.srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = joiner.srv.Manager().Drain(ctx)
+		cancel()
+		joiner.hs.Close()
+	})
+	if err := joiner.cl.Join(ctx, nodes[0].url); err != nil {
+		t.Fatalf("join via %s: %v", nodes[0].url, err)
+	}
+	for _, node := range survivors {
+		node := node
+		waitFor(t, 10*time.Second, "gossip to spread the joiner", func() bool {
+			for _, m := range node.cl.Members() {
+				if m == joiner.url {
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	// Ownership: from a survivor's ring view the joiner must become the
+	// primary owner of some keyspace slice.
+	waitFor(t, 10*time.Second, "joiner to acquire ring ownership", func() bool {
+		for i := 0; i < 64; i++ {
+			owners := nodes[0].cl.Owners(fmt.Sprintf("join-probe-%d", i), 1)
+			if len(owners) == 1 && owners[0] == joiner.url {
+				return true
+			}
+		}
+		return false
+	})
+
+	// And functionally so: keep computing fresh configs on a survivor
+	// until one's ring owners include the joiner, then its replica must
+	// land there with no action on the joiner's part.
+	landed := false
+	for s := uint64(0); s < 20 && !landed; s++ {
+		req := mkReq(9_400 + s)
+		sub, err := nodes[0].c.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("post-join submit: %v", err)
+		}
+		st, err := nodes[0].c.Wait(ctx, sub.ID, 2*time.Millisecond)
+		if err != nil || st.State != server.StateDone {
+			t.Fatalf("post-join job: %+v, %v", st, err)
+		}
+		for _, owner := range nodes[0].cl.Owners(st.Key, 2) {
+			if owner == joiner.url {
+				waitFor(t, 10*time.Second, "replica to land on the joiner", func() bool {
+					return joiner.st.Has(st.Key)
+				})
+				landed = true
+			}
+		}
+	}
+	if !landed {
+		t.Fatal("20 fresh configs and none owned by the joiner: ring never rebalanced")
+	}
+}
+
+// TestClusterChaosScrubRestoresFromPeer closes the loop between the
+// store's scrubber and the cluster's replicas: a bit-flipped entry on
+// one node is quarantined by a scrub pass and restored through the
+// manager's refetch callback from the peer replica — the fleet heals
+// bit-rot end to end.
+func TestClusterChaosScrubRestoresFromPeer(t *testing.T) {
+	nodes := startFleet(t, 2, func(c *cluster.Config) { c.Replication = 2 })
+	ctx := context.Background()
+
+	sub, err := nodes[0].c.Submit(ctx, server.JobRequest{
+		Type: server.TypeSim, Benchmark: "ocean",
+		Options: cgct.Options{OpsPerProc: 2_000, Seed: 9_500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nodes[0].c.Wait(ctx, sub.ID, 2*time.Millisecond)
+	if err != nil || st.State != server.StateDone {
+		t.Fatalf("job: %+v, %v", st, err)
+	}
+	key := st.Key
+
+	// The push to the replica is async; wait for it, then make the local
+	// copy durable so the scrubber will touch it (it skips dirty keys).
+	waitFor(t, 10*time.Second, "replica to land on the peer", func() bool {
+		return nodes[1].st.Has(key)
+	})
+	nodes[0].st.Flush()
+	good, err := nodes[0].st.Get(key)
+	if err != nil {
+		t.Fatalf("pre-corruption Get: %v", err)
+	}
+
+	// Flip one payload byte of the durable entry in place.
+	path := filepath.Join(nodes[0].dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry to corrupt: %v", err)
+	}
+	raw[8+2+store.KeyLen+8] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("writing corrupted entry: %v", err)
+	}
+
+	scrubbed, corrupt, repaired := nodes[0].st.ScrubNow(10)
+	if scrubbed == 0 || corrupt != 1 || repaired != 1 {
+		t.Fatalf("ScrubNow = (%d, %d, %d), want 1 corrupt and 1 repaired via the peer replica",
+			scrubbed, corrupt, repaired)
+	}
+	nodes[0].st.Flush()
+	restored, err := nodes[0].st.Get(key)
+	if err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+	if !bytes.Equal(restored, good) {
+		t.Fatalf("restored payload diverged from the original\n got: %s\nwant: %s", restored, good)
+	}
+	// The rotten bytes are preserved for post-mortem.
+	q, err := os.ReadDir(filepath.Join(nodes[0].dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %v, %v; want exactly one preserved entry", q, err)
+	}
+	if s := nodes[0].st.Stats(); s.ScrubRepairs != 1 || s.Corruptions != 1 {
+		t.Fatalf("store stats after heal: %+v", s)
 	}
 }

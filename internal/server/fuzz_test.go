@@ -1,9 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
+
+	"cgct/internal/cluster"
+	"cgct/internal/store"
 )
 
 // FuzzNormalize feeds arbitrary JSON through the exact path the HTTP
@@ -103,4 +108,49 @@ func TestPartitionedCacheKeySharing(t *testing.T) {
 	if par.Options.SimParallelism != 8 {
 		t.Error("normalize must keep the requested parallelism for execution")
 	}
+}
+
+// FuzzReplicaPut feeds arbitrary (key, digest, body) triples through the
+// replica intake the PUT /v1/results handler uses: hostile pushes must
+// never panic and must be accepted exactly when the key is a well-formed
+// content address, the digest matches the payload, and the payload is
+// valid JSON within the store's size bound — a replica PUT can spill a
+// well-formed result and nothing else.
+func FuzzReplicaPut(f *testing.F) {
+	st, err := store.Open(store.Options{Dir: f.TempDir()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := NewManager(Options{Workers: 1, QueueCapacity: 4, Store: st})
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = m.Drain(ctx)
+		cancel()
+	})
+	good := []byte(`{"cycles":1}`)
+	key := strings.Repeat("0123456789abcdef", 4)
+	f.Add(key, cluster.Digest(good), good)
+	f.Add(key, cluster.Digest(good), []byte(`{"cycles":2}`))
+	f.Add(key, "", good)
+	f.Add(key, strings.ToUpper(cluster.Digest(good)), good)
+	f.Add("not-a-key", cluster.Digest(good), good)
+	f.Add(strings.ToUpper(key), cluster.Digest(good), good)
+	f.Add(key, cluster.Digest([]byte("not json")), []byte("not json"))
+	f.Add(key, cluster.Digest(nil), []byte{})
+	f.Add(key[:63], cluster.Digest(good), good)
+	f.Fuzz(func(t *testing.T, key, digest string, body []byte) {
+		err := m.AcceptReplica(key, digest, body)
+		valid := store.ValidateKey(key) == nil &&
+			len(body) <= store.MaxPayload &&
+			digest != "" &&
+			cluster.Digest(body) == digest &&
+			json.Valid(body)
+		if (err == nil) != valid {
+			t.Fatalf("AcceptReplica(%q, %q, %d bytes) err=%v, want accepted=%v",
+				key, digest, len(body), err, valid)
+		}
+		if err == nil && !st.Has(key) {
+			t.Fatalf("accepted replica %q not resident in the store", key)
+		}
+	})
 }

@@ -399,6 +399,14 @@ type Manager struct {
 	watchdogKills *metrics.Counter // jobs killed by the progress watchdog
 	jobLatency    *metrics.Histogram
 
+	// Replica pushes run on their own bounded goroutines (replSem caps
+	// concurrency) so a slow peer never blocks a worker; Drain waits for
+	// replWG so a planned restart finishes its pushes.
+	replWG       sync.WaitGroup
+	replSem      chan struct{}
+	replReceived *metrics.Counter // replica PUTs accepted and stored
+	replRejected *metrics.Counter // replica PUTs refused (bad key/digest/body)
+
 	mu        sync.Mutex
 	jobs      map[string]*job
 	finished  []string // terminal job IDs, oldest first, for history pruning
@@ -430,6 +438,8 @@ func NewManager(o Options) *Manager {
 		stop:  make(chan struct{}),
 		jobs:  make(map[string]*job),
 		log:   o.Logger,
+
+		replSem: make(chan struct{}, 4),
 	}
 	if m.log == nil {
 		m.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -447,7 +457,37 @@ func NewManager(o Options) *Manager {
 	if o.Cluster != nil {
 		o.Cluster.Start()
 	}
+	if o.Store != nil && o.Cluster != nil {
+		// The scrubber heals quarantined entries from replica peers — the
+		// payoff of pushing every result to R ring owners.
+		o.Store.SetRefetch(m.refetchFromPeers)
+	}
 	return m
+}
+
+// refetchFromPeers restores a store entry from whichever ring owner
+// still holds it; the store's scrubber calls this for quarantined keys.
+func (m *Manager) refetchFromPeers(key string) ([]byte, error) {
+	c := m.opts.Cluster
+	if c == nil {
+		return nil, errors.New("server: standalone, no replicas to refetch from")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var lastErr error = cluster.ErrNoResult
+	for _, peer := range c.Owners(key, 0) {
+		if peer == c.Self() {
+			continue
+		}
+		payload, err := c.Fetch(ctx, peer, key)
+		if err == nil && json.Valid(payload) {
+			return payload, nil
+		}
+		if err != nil {
+			lastErr = err
+		}
+	}
+	return nil, lastErr
 }
 
 // initMetrics builds the manager's registry: its own counters and the
@@ -492,6 +532,8 @@ func (m *Manager) initMetrics() {
 	if m.opts.Cluster != nil {
 		m.opts.Cluster.RegisterMetrics(r)
 	}
+	m.replReceived = r.Counter("cgct_replication_received_total", "replica PUTs accepted and spilled to the store")
+	m.replRejected = r.Counter("cgct_replication_rejected_total", "replica PUTs refused (bad key, digest mismatch, or invalid body)")
 	r.CounterFunc("cgct_sim_events_total", "simulated events executed process-wide, batch granularity",
 		func() float64 { return float64(sim.EventsTotal()) })
 	for _, t := range []struct {
@@ -882,6 +924,7 @@ func (m *Manager) executeCached(j *job) (any, error) {
 				m.setResultSource(j, "sim")
 				if payload, merr := canonicalResult(res); merr == nil {
 					m.storeSpill(j.key, payload)
+					m.replicate(j.key, payload)
 				}
 			}
 			return res, err
@@ -936,26 +979,105 @@ func (m *Manager) storeSpill(key string, payload []byte) {
 	}
 }
 
-// peerFetch asks the key's owning cluster peer for the result. Reports
+// peerFetch asks the key's ring owners — the owner first, then the
+// replica holders in clockwise order — for the result, so a freshly dead
+// owner costs a fetch against its replica, not a re-simulation. Reports
 // !ok — and the caller simulates locally — when the node is standalone,
-// owns the key itself, the owner has not computed it, or the fetch fails
-// outright (peer death, timeout, injected fault). The returned payload
-// is validated as JSON so a garbled body cannot poison the result cache.
+// every listed owner is this node itself, nobody has the key, or every
+// fetch fails outright (peer death, timeout, injected fault). The
+// returned payload is validated as JSON so a garbled body cannot poison
+// the result cache.
 func (m *Manager) peerFetch(ctx context.Context, key string) ([]byte, bool) {
 	c := m.opts.Cluster
 	if c == nil {
 		return nil, false
 	}
-	owner, self := c.Owner(key)
-	if self {
-		return nil, false
+	for _, owner := range c.Owners(key, 0) {
+		if owner == c.Self() {
+			continue
+		}
+		payload, err := c.Fetch(ctx, owner, key)
+		if err != nil || !json.Valid(payload) {
+			continue // an authoritative miss on the owner may still hit a replica
+		}
+		m.log.Info("result fetched from peer", "config_hash", shortHash(key), "owner", owner, "bytes", len(payload))
+		return payload, true
 	}
-	payload, err := c.Fetch(ctx, owner, key)
-	if err != nil || !json.Valid(payload) {
-		return nil, false
+	return nil, false
+}
+
+// replicate pushes a freshly simulated result to the other R−1 ring
+// owners for its key, asynchronously on a bounded number of goroutines:
+// a slow or dead replica costs background bandwidth, never worker time.
+// No-op below R=2 or standalone. Drain waits for in-flight pushes, so a
+// planned restart hands its results to the fleet first.
+func (m *Manager) replicate(key string, payload []byte) {
+	c := m.opts.Cluster
+	if c == nil || c.Replication() < 2 {
+		return
 	}
-	m.log.Info("result fetched from peer", "config_hash", shortHash(key), "owner", owner, "bytes", len(payload))
-	return payload, true
+	for _, peer := range c.Owners(key, 0) {
+		if peer == c.Self() {
+			continue
+		}
+		peer := peer
+		m.replWG.Add(1)
+		m.replSem <- struct{}{}
+		go func() {
+			defer m.replWG.Done()
+			defer func() { <-m.replSem }()
+			// Errors are counted and logged inside Replicate; replication is
+			// an optimisation, so there is nothing to propagate.
+			_ = c.Replicate(context.Background(), peer, key, payload)
+		}()
+	}
+}
+
+// AcceptReplica is the receiving half of replication: validate an
+// incoming PUT /v1/results/{key} body and spill it to the local store.
+// Everything about the request is untrusted — the key grammar, the size,
+// the digest, the JSON — and any mismatch is a counted rejection, so a
+// buggy or hostile peer cannot plant bytes under an arbitrary address.
+func (m *Manager) AcceptReplica(key, digest string, payload []byte) error {
+	reject := func(err error) error {
+		m.replRejected.Inc()
+		return err
+	}
+	if err := store.ValidateKey(key); err != nil {
+		return reject(err)
+	}
+	if m.opts.Store == nil {
+		return reject(errors.New("server: no persistent store; replica not accepted"))
+	}
+	if len(payload) > store.MaxPayload {
+		return reject(fmt.Errorf("server: replica payload of %d bytes exceeds limit", len(payload)))
+	}
+	if digest == "" {
+		return reject(errors.New("server: replica PUT missing digest header"))
+	}
+	if got := cluster.Digest(payload); got != digest {
+		return reject(fmt.Errorf("server: replica digest mismatch for %s", shortHash(key)))
+	}
+	if !json.Valid(payload) {
+		return reject(errors.New("server: replica payload is not valid JSON"))
+	}
+	if err := m.opts.Store.Put(key, payload); err != nil {
+		return reject(err)
+	}
+	m.replReceived.Inc()
+	m.log.Info("replica accepted", "config_hash", shortHash(key), "bytes", len(payload))
+	return nil
+}
+
+// ClusterJoin admits a peer through POST /v1/cluster/join and returns
+// the full membership. ErrNotFound on a standalone node — the route
+// exists, the fleet does not.
+func (m *Manager) ClusterJoin(peer string) ([]string, error) {
+	c := m.opts.Cluster
+	if c == nil {
+		return nil, ErrNotFound
+	}
+	return c.HandleJoin(peer)
 }
 
 // ResultPayload serves the canonical result bytes for a content address:
@@ -1117,6 +1239,12 @@ type Metrics struct {
 	SimWindowStalls       uint64 `json:"sim_window_stalls"`
 	SimPartitionsInflight uint64 `json:"sim_partitions_inflight"`
 
+	// Replication intake on this node: replica PUTs accepted into the
+	// store, and ones refused (bad key, digest mismatch, invalid body).
+	// Push-side counts live under Cluster.
+	ReplicationReceived uint64 `json:"replication_received"`
+	ReplicationRejected uint64 `json:"replication_rejected"`
+
 	// Store is the persistent-store snapshot (hits, writes, corruptions,
 	// pending write-behind entries); present only when a store is wired.
 	Store *store.Stats `json:"store,omitempty"`
@@ -1158,7 +1286,11 @@ func (m *Manager) Metrics() Metrics {
 		PanicsRecovered:   m.panics.Value(),
 		DeadlinesExceeded: m.deadlines.Value(),
 		WatchdogKills:     m.watchdogKills.Value(),
-		Draining:          m.draining,
+
+		ReplicationReceived: m.replReceived.Value(),
+		ReplicationRejected: m.replRejected.Value(),
+
+		Draining: m.draining,
 	}
 	b, d, l, dm := sim.FabricTraffic()
 	out.FabricMessages = map[string]uint64{"broadcast": b, "direct": d, "local": l, "directory": dm}
@@ -1239,8 +1371,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Unlock()
 
 	// First Drain through: release the cluster and make the store durable.
-	// Workers have exited, so nothing races new spills past the flush.
+	// Workers have exited, so nothing races new spills past the flush —
+	// and in-flight replica pushes finish first, handing this node's last
+	// results to the fleet.
 	if !already {
+		m.replWG.Wait()
 		if c := m.opts.Cluster; c != nil {
 			c.Stop()
 		}

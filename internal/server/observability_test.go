@@ -7,11 +7,13 @@ import (
 	"errors"
 	"log/slog"
 	"math"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"cgct"
+	"cgct/internal/cluster"
 	"cgct/internal/metrics"
 	"cgct/internal/server"
 )
@@ -111,6 +113,108 @@ func TestPrometheusAgreesWithJSON(t *testing.T) {
 	}
 	if jsonM.JobsCompleted != 4 || jsonM.PanicsRecovered != 1 {
 		t.Fatalf("unexpected traffic: completed=%d panics=%d", jsonM.JobsCompleted, jsonM.PanicsRecovered)
+	}
+}
+
+// TestStoreAndClusterMetricsAgreement extends the two-surface check to
+// the replication, membership, eviction and scrubbing counters: after
+// real replica traffic (one accepted push, one rejected push, one scrub
+// pass) the Prometheus exposition and the JSON snapshot must agree on
+// every new series, on both nodes.
+func TestStoreAndClusterMetricsAgreement(t *testing.T) {
+	nodes := startFleet(t, 2, func(c *cluster.Config) { c.Replication = 2 })
+	ctx := context.Background()
+
+	sub, err := nodes[0].c.Submit(ctx, server.JobRequest{
+		Type: server.TypeSim, Benchmark: "ocean",
+		Options: cgct.Options{OpsPerProc: 2_000, Seed: 9_600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nodes[0].c.Wait(ctx, sub.ID, 2*time.Millisecond)
+	if err != nil || st.State != server.StateDone {
+		t.Fatalf("job: %+v, %v", st, err)
+	}
+	waitFor(t, 10*time.Second, "replica to land on the peer", func() bool {
+		return nodes[1].st.Has(st.Key)
+	})
+
+	// A push with a lying digest must be refused and counted.
+	req, err := http.NewRequest(http.MethodPut,
+		nodes[0].url+"/v1/results/"+st.Key, strings.NewReader(`{"forged":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.DigestHeader, strings.Repeat("0", 64))
+	resp, err := nodes[0].hs.Client().Do(req)
+	if err != nil {
+		t.Fatalf("forged replica PUT: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged replica PUT: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// One scrub pass exercises the scrubbed counter and builds the size
+	// index, so the bytes gauge goes live too.
+	nodes[0].st.Flush()
+	if n, _, _ := nodes[0].st.ScrubNow(10); n == 0 {
+		t.Fatal("scrub pass examined nothing")
+	}
+
+	for i, node := range nodes {
+		jsonM, err := node.c.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("node %d metrics: %v", i, err)
+		}
+		if jsonM.Store == nil || jsonM.Cluster == nil {
+			t.Fatalf("node %d: missing store/cluster sections: %+v", i, jsonM)
+		}
+		prom := scrape(t, node.c)
+		want := map[string]float64{
+			"cgct_replication_received_total":    float64(jsonM.ReplicationReceived),
+			"cgct_replication_rejected_total":    float64(jsonM.ReplicationRejected),
+			"cgct_replication_pushes_total":      float64(jsonM.Cluster.ReplicaPushes),
+			"cgct_replication_push_errors_total": float64(jsonM.Cluster.ReplicaPushErrors),
+			"cgct_cluster_peers_added_total":     float64(jsonM.Cluster.PeersAdded),
+			"cgct_cluster_peers_removed_total":   float64(jsonM.Cluster.PeersRemoved),
+			"cgct_store_read_errors_total":       float64(jsonM.Store.ReadErrors),
+			"cgct_store_evictions_total":         float64(jsonM.Store.Evictions),
+			"cgct_store_scrubbed_total":          float64(jsonM.Store.Scrubbed),
+			"cgct_store_scrub_repairs_total":     float64(jsonM.Store.ScrubRepairs),
+			"cgct_store_bytes":                   float64(jsonM.Store.Bytes),
+		}
+		for series, v := range want {
+			got, ok := prom[series]
+			if !ok {
+				t.Errorf("node %d exposition missing series %s", i, series)
+				continue
+			}
+			if got != v {
+				t.Errorf("node %d: %s = %v, JSON snapshot says %v", i, series, got, v)
+			}
+		}
+	}
+
+	// The comparison must not have been between all-zero surfaces.
+	m0, err := nodes[0].c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := nodes[1].c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Cluster.ReplicaPushes == 0 || m1.ReplicationReceived == 0 {
+		t.Errorf("no replica traffic recorded: pushes=%d received=%d",
+			m0.Cluster.ReplicaPushes, m1.ReplicationReceived)
+	}
+	if m0.ReplicationRejected != 1 {
+		t.Errorf("forged PUT not counted: rejected=%d", m0.ReplicationRejected)
+	}
+	if m0.Store.Scrubbed == 0 {
+		t.Errorf("scrub pass not counted")
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
+	"cgct/internal/cluster"
 	"cgct/internal/store"
 )
 
@@ -17,7 +19,10 @@ import (
 //	DELETE /v1/jobs/{id}      cancel (queued: immediate; running: via context)
 //	GET    /v1/results/{key}  result bytes by content address (peer fetching;
 //	                          ?wait=1 joins an in-flight computation; never computes)
+//	PUT    /v1/results/{key}  replica intake: a peer pushes a result it computed
+//	                          (key/digest validated; 503 on a storeless node)
 //	GET    /v1/cluster        this node's view of the fleet (membership, health, fetch stats)
+//	POST   /v1/cluster/join   admit a peer to the membership, answer the full peer list
 //	GET    /v1/metrics        queue/worker/cache/latency metrics (JSON)
 //	GET    /metrics           the same registry in Prometheus text format
 //	GET    /v1/healthz        200 ok, 503 while draining
@@ -35,7 +40,9 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	s.mux.HandleFunc("PUT /v1/results/{key}", s.handleReplicaPut)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -136,6 +143,53 @@ func (s *Server) handleResultByKey(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(payload)
+	}
+}
+
+// handleReplicaPut is the receiving half of result replication: a peer
+// that just simulated a key this node is a ring owner for pushes the
+// payload here. The body is bounded before it is read, and the manager
+// re-validates key grammar, digest and JSON — a replica PUT can spill a
+// well-formed result into the store and nothing else.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, store.MaxPayload+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading replica body: %w", err))
+		return
+	}
+	if len(payload) > store.MaxPayload {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("replica payload exceeds %d bytes", store.MaxPayload))
+		return
+	}
+	err = s.manager.AcceptReplica(r.PathValue("key"), r.Header.Get(cluster.DigestHeader), payload)
+	switch {
+	case errors.Is(err, store.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// handleClusterJoin admits a peer into the membership and answers with
+// the full peer list — one round trip teaches a joiner the whole fleet.
+// Standalone nodes 404: there is no fleet to join here.
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	var jr cluster.JoinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<10)).Decode(&jr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
+		return
+	}
+	peers, err := s.manager.ClusterJoin(jr.Peer)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, errors.New("server: not clustered"))
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, cluster.JoinResponse{Peers: peers})
 	}
 }
 

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// This file is the store's capacity and hygiene layer: the lazily built
+// size index, byte-capped LRU eviction over it, and the trickle scrubber
+// that re-verifies envelopes and restores quarantined entries from
+// replicas. All of it is optional and all of it is an optimisation —
+// with MaxBytes and ScrubInterval both zero none of this code runs, and
+// any failure here degrades to the store's previous behaviour (entries
+// simply absent, re-derived by the compute path above).
+
+// ensureIndexLocked builds the size index on first need by walking the
+// shard directories once: no startup scan, so an uncapped, unscrubbed
+// store never pays for it. Access order is seeded from file mtimes — an
+// approximation of true recency that only has to be good enough for the
+// first few evictions; live hits re-sequence entries exactly. Caller
+// holds s.imu.
+func (s *Store) ensureIndexLocked() {
+	if s.indexBuilt {
+		return
+	}
+	type row struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var rows []row
+	shards, _ := os.ReadDir(s.dir)
+	for _, d := range shards {
+		if !d.IsDir() || len(d.Name()) != 2 {
+			continue // quarantine/ and stray files are not entries
+		}
+		files, _ := os.ReadDir(filepath.Join(s.dir, d.Name()))
+		for _, f := range files {
+			if f.IsDir() || ValidateKey(f.Name()) != nil {
+				continue // .tmp-* leftovers are not entries
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			rows = append(rows, row{key: f.Name(), size: info.Size(), mod: info.ModTime()})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mod.Before(rows[j].mod) })
+	for _, r := range rows {
+		if _, ok := s.index[r.key]; ok {
+			continue // a concurrent noteDurable beat the walk to it
+		}
+		s.accessSeq++
+		s.index[r.key] = &indexEntry{size: r.size, seq: s.accessSeq}
+		s.indexBytes += r.size
+	}
+	s.indexBuilt = true
+}
+
+// indexPutLocked records (or refreshes) one durable entry. Caller holds
+// s.imu.
+func (s *Store) indexPutLocked(key string, size int64) {
+	s.accessSeq++
+	if e, ok := s.index[key]; ok {
+		s.indexBytes += size - e.size
+		e.size = size
+		e.seq = s.accessSeq
+		return
+	}
+	s.index[key] = &indexEntry{size: size, seq: s.accessSeq}
+	s.indexBytes += size
+}
+
+// indexForget drops one entry from the index (quarantined or removed);
+// a no-op until the index exists.
+func (s *Store) indexForget(key string) {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if e, ok := s.index[key]; ok {
+		s.indexBytes -= e.size
+		delete(s.index, key)
+	}
+}
+
+// touch bumps a served entry's recency. Before the index is built there
+// is nothing to bump — recency until then lives in file mtimes, which
+// the build reads.
+func (s *Store) touch(key string, size int64) {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if !s.indexBuilt {
+		return
+	}
+	s.indexPutLocked(key, size)
+}
+
+// noteDurable is called after each successful persist: it keeps the
+// index current and, when a byte cap is set, evicts least-recently-used
+// entries until the store fits again.
+func (s *Store) noteDurable(key string, size int64) {
+	if s.maxBytes <= 0 {
+		// No cap: maintain the index only if the scrubber already built it.
+		s.touch(key, size)
+		return
+	}
+	busy := s.busyKeys()
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	s.ensureIndexLocked()
+	s.indexPutLocked(key, size)
+	s.evictToCapLocked(busy)
+}
+
+// busyKeys snapshots keys that must not be evicted: dirty (their durable
+// file is about to be superseded) or mid-persist (removing the file
+// would race the rename). Snapshotted under s.mu before eviction takes
+// s.imu — the two locks are never held together.
+func (s *Store) busyKeys() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	busy := make(map[string]bool, len(s.dirty)+len(s.writing))
+	for k := range s.dirty {
+		busy[k] = true
+	}
+	for k := range s.writing {
+		busy[k] = true
+	}
+	return busy
+}
+
+// evictToCapLocked removes least-recently-used entries until the indexed
+// footprint fits the cap. Caller holds s.imu.
+func (s *Store) evictToCapLocked(busy map[string]bool) {
+	for s.indexBytes > s.maxBytes {
+		var victim string
+		var ve *indexEntry
+		for k, e := range s.index {
+			if busy[k] {
+				continue
+			}
+			if ve == nil || e.seq < ve.seq {
+				victim, ve = k, e
+			}
+		}
+		if ve == nil {
+			return // everything evictable is busy; the next persist retries
+		}
+		if err := os.Remove(s.entryPath(victim)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.log.Warn("store: evict failed", "key", shortKey(victim), "error", err.Error())
+		}
+		s.indexBytes -= ve.size
+		delete(s.index, victim)
+		s.evictions.Add(1)
+		s.log.Info("store: evicted LRU entry", "key", shortKey(victim), "size", ve.size, "bytes", s.indexBytes)
+	}
+}
+
+// scrubber re-verifies one entry per tick until Close: bit-rot is found
+// at a bounded background IO rate instead of at serve time, and — with a
+// refetch callback installed — repaired from a replica while one still
+// exists.
+func (s *Store) scrubber(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.scrubStop:
+			return
+		case <-t.C:
+			s.ScrubNow(1)
+		}
+	}
+}
+
+// ScrubNow synchronously scrubs up to max entries, advancing the same
+// cursor the background scrubber uses (each full pass over the index
+// re-snapshots it, so entries written later are scrubbed on the next
+// cycle). Exported so tests and operators can drive verification
+// deterministically. Returns entries examined, found corrupt, and
+// restored via refetch.
+func (s *Store) ScrubNow(max int) (scrubbed, corrupt, repaired int) {
+	refilled := false
+	for n := 0; n < max; n++ {
+		key, didRefill, ok := s.nextScrubKey()
+		if !ok {
+			return
+		}
+		if didRefill {
+			if refilled {
+				return // one full pass per call; don't spin over a small index
+			}
+			refilled = true
+		}
+		c, r := s.scrubOne(key)
+		scrubbed++
+		corrupt += c
+		repaired += r
+	}
+	return
+}
+
+// nextScrubKey pops the scrub cursor, refilling it from the index when a
+// pass completes. refilled reports that this pop started a new pass.
+func (s *Store) nextScrubKey() (key string, refilled, ok bool) {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if len(s.scrubKeys) == 0 {
+		s.ensureIndexLocked()
+		s.scrubKeys = make([]string, 0, len(s.index))
+		for k := range s.index {
+			s.scrubKeys = append(s.scrubKeys, k)
+		}
+		sort.Strings(s.scrubKeys)
+		refilled = true
+	}
+	if len(s.scrubKeys) == 0 {
+		return "", refilled, false
+	}
+	k := s.scrubKeys[0]
+	s.scrubKeys = s.scrubKeys[1:]
+	return k, refilled, true
+}
+
+// scrubOne re-reads one entry with full envelope validation. Corruption
+// quarantines the entry (same path as a serve-time discovery) and then
+// tries the refetch callback so a replica's copy replaces the rotten
+// one.
+func (s *Store) scrubOne(key string) (corrupt, repaired int) {
+	s.mu.Lock()
+	_, isDirty := s.dirty[key]
+	_, isWriting := s.writing[key]
+	s.mu.Unlock()
+	if isDirty || isWriting {
+		return // being rewritten right now; scrubbing would race the rename
+	}
+	f, err := os.Open(s.entryPath(key))
+	if errors.Is(err, os.ErrNotExist) {
+		s.indexForget(key) // evicted or pruned behind the cursor's back
+		return
+	}
+	if err != nil {
+		return
+	}
+	_, rerr := readEntry(f, key)
+	f.Close()
+	s.scrubbed.Add(1)
+	if rerr == nil {
+		return
+	}
+	s.corruptions.Add(1)
+	corrupt = 1
+	s.quarantine(key, rerr)
+	fn := s.refetch.Load()
+	if fn == nil {
+		return
+	}
+	payload, ferr := (*fn)(key)
+	if ferr != nil {
+		s.log.Warn("store: scrub refetch failed", "key", shortKey(key), "error", ferr.Error())
+		return
+	}
+	if err := s.Put(key, payload); err != nil {
+		s.log.Warn("store: scrub repair rejected", "key", shortKey(key), "error", err.Error())
+		return
+	}
+	s.scrubRepairs.Add(1)
+	repaired = 1
+	s.log.Info("store: quarantined entry restored from replica", "key", shortKey(key))
+	return
+}

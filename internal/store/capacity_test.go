@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStoreSameKeyWriteOrdering pins the write-ordering bugfix: with a
+// tiny queue, same-key Puts run through both the background writer and
+// the queue-full synchronous path concurrently, and before the per-key
+// generation ordering an older payload's rename could land after a newer
+// one — stale bytes durable while the dirty map is clear. After a flush,
+// the durable entry must be the last Put, always. Run with -race.
+func TestStoreSameKeyWriteOrdering(t *testing.T) {
+	s := openTest(t, Options{QueueCapacity: 1})
+	key := keyOf("ordered")
+	filler := keyOf("ordering-filler")
+	const rounds = 400
+	var last []byte
+	for i := 0; i < rounds; i++ {
+		// The filler keeps the one-slot queue occupied so the keyed Put
+		// frequently takes the synchronous path while the writer drains an
+		// older generation of the same key.
+		if err := s.Put(filler, []byte("fill")); err != nil {
+			t.Fatalf("Put(filler): %v", err)
+		}
+		last = []byte(fmt.Sprintf("generation-%04d", i))
+		if err := s.Put(key, last); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s.Flush()
+	if st := s.Stats(); st.Pending != 0 {
+		t.Fatalf("pending = %d after Flush", st.Pending)
+	}
+	// Dirty map is clear, so this is the durable envelope from disk.
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatalf("durable entry = %q, want the last written %q (stale write won the rename race)", got, last)
+	}
+}
+
+// TestStoreFlushUnderSustainedPuts: Flush is bounded by a drain
+// generation, so a steady stream of concurrent Puts must not starve it
+// (the old condition waited for len(dirty)==0, which never holds under
+// sustained writes).
+func TestStoreFlushUnderSustainedPuts(t *testing.T) {
+	s := openTest(t, Options{QueueCapacity: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Put(keyOf(fmt.Sprintf("flood-%d", i)), []byte("flood"))
+		}
+	}()
+	// Give the flood a head start so Flush really runs against live Puts.
+	time.Sleep(10 * time.Millisecond)
+	flushed := make(chan struct{})
+	go func() {
+		s.Flush()
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Flush starved by sustained concurrent Puts")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStoreEvictionStaysUnderCap: with MaxBytes set the store evicts
+// least-recently-used entries as writes land, a served entry's recency
+// is refreshed, and the indexed footprint stays at or under the cap.
+func TestStoreEvictionStaysUnderCap(t *testing.T) {
+	payload := bytes.Repeat([]byte{'x'}, 1000)
+	per := entrySize(keyOf("k"), len(payload)) // 1114 bytes per entry
+	s := openTest(t, Options{MaxBytes: 4 * per})
+	var keys []string
+	for i := 0; i < 4; i++ {
+		k := keyOf(fmt.Sprintf("cap-%d", i))
+		keys = append(keys, k)
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		s.Flush() // deterministic persist (and so recency) order
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Bytes != 4*per {
+		t.Fatalf("stats = %+v, want 4 entries resident and no evictions", st)
+	}
+	// Serve keys[0]: it becomes most recently used, so the next eviction
+	// must take keys[1] instead.
+	if _, err := s.Get(keys[0]); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	k4 := keyOf("cap-4")
+	if err := s.Put(k4, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 4*per {
+		t.Fatalf("bytes = %d, over the %d cap", st.Bytes, 4*per)
+	}
+	if s.Has(keys[1]) {
+		t.Fatal("LRU victim keys[1] still resident")
+	}
+	for _, k := range []string{keys[0], keys[2], keys[3], k4} {
+		if !s.Has(k) {
+			t.Fatalf("non-LRU entry %s evicted", shortKey(k))
+		}
+	}
+}
+
+// TestStoreIndexBuildsFromExistingEntries: the size index is lazy — a
+// reopened store must discover pre-existing entries (and their sizes) on
+// the first capacity check, then evict across restarts' entries too.
+func TestStoreIndexBuildsFromExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{'y'}, 500)
+	per := entrySize(keyOf("k"), len(payload))
+	s1 := openTest(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if err := s1.Put(keyOf(fmt.Sprintf("old-%d", i)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1.Close()
+
+	s2 := openTest(t, Options{Dir: dir, MaxBytes: 3 * per})
+	if err := s2.Put(keyOf("new-0"), payload); err != nil {
+		t.Fatal(err)
+	}
+	s2.Flush()
+	st := s2.Stats()
+	if st.Bytes > 3*per {
+		t.Fatalf("bytes = %d, over the %d cap (index missed pre-existing entries)", st.Bytes, 3*per)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (one pre-existing entry over cap)", st.Evictions)
+	}
+	if !s2.Has(keyOf("new-0")) {
+		t.Fatal("freshly written entry evicted instead of an old one")
+	}
+}
+
+// corruptEntry flips one payload byte of a durable entry in place.
+func corruptEntry(t *testing.T, s *Store, key string) {
+	t.Helper()
+	path := filepath.Join(s.Dir(), key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading entry to corrupt: %v", err)
+	}
+	raw[8+2+KeyLen+8] ^= 0xff // first payload byte
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("writing corrupted entry: %v", err)
+	}
+}
+
+// TestStoreScrubRepairsFromReplica: the scrubber finds a bit-flipped
+// entry, quarantines it (evidence preserved), and restores it through
+// the refetch callback — the store heals without serving the rot.
+func TestStoreScrubRepairsFromReplica(t *testing.T) {
+	s := openTest(t, Options{})
+	good := []byte(`{"cycles":777}`)
+	key := keyOf("scrubbed")
+	other := keyOf("scrub-clean")
+	if err := s.Put(key, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(other, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	corruptEntry(t, s, key)
+	s.SetRefetch(func(k string) ([]byte, error) {
+		if k != key {
+			return nil, fmt.Errorf("unexpected refetch for %s", k)
+		}
+		return good, nil
+	})
+	scrubbed, corrupt, repaired := s.ScrubNow(10)
+	if scrubbed != 2 || corrupt != 1 || repaired != 1 {
+		t.Fatalf("ScrubNow = (%d, %d, %d), want (2, 1, 1)", scrubbed, corrupt, repaired)
+	}
+	s.Flush()
+	got, err := s.Get(key)
+	if err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("Get after repair = %q, %v; want the replica's payload", got, err)
+	}
+	if st := s.Stats(); st.Corruptions != 1 || st.ScrubRepairs != 1 || st.Scrubbed != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Quarantine preserved the corrupt bytes for post-mortem.
+	q, err := os.ReadDir(filepath.Join(s.Dir(), "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir = %v, %v; want exactly one preserved entry", q, err)
+	}
+	// A second pass over the healthy store finds nothing.
+	if _, corrupt, _ := s.ScrubNow(10); corrupt != 0 {
+		t.Fatal("repaired store still scrubs corrupt")
+	}
+}
+
+// TestStoreScrubWithoutRefetch: no callback installed — corruption is
+// quarantined and the entry is simply gone (degraded, not wedged).
+func TestStoreScrubWithoutRefetch(t *testing.T) {
+	s := openTest(t, Options{})
+	key := keyOf("scrub-lost")
+	if err := s.Put(key, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	corruptEntry(t, s, key)
+	if _, corrupt, repaired := s.ScrubNow(10); corrupt != 1 || repaired != 0 {
+		t.Fatalf("ScrubNow = corrupt %d repaired %d, want 1/0", corrupt, repaired)
+	}
+	if _, err := s.Get(key); err == nil {
+		t.Fatal("quarantined entry still served")
+	}
+}
+
+// TestStoreBackgroundScrubber: ScrubInterval drives verification without
+// any caller involvement, and Close stops the goroutine cleanly.
+func TestStoreBackgroundScrubber(t *testing.T) {
+	s := openTest(t, Options{ScrubInterval: time.Millisecond})
+	if err := s.Put(keyOf("bg-scrub"), []byte("watched")); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Scrubbed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never verified the entry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -24,14 +24,24 @@
 //
 // Puts go through a bounded write-behind queue drained by one background
 // writer; Get consults the dirty map first (read-your-writes), so a
-// result is servable the moment Put returns. Flush blocks until the
-// queue is empty; Close flushes and stops the writer — graceful drain
-// calls it so a planned restart loses nothing.
+// result is servable the moment Put returns. Same-key writes are ordered
+// by a per-Put generation: a queue-full synchronous persist racing the
+// background writer can never land an older payload's rename after a
+// newer one. Flush blocks until everything accepted before it was called
+// is settled (a drain generation, so sustained concurrent Puts cannot
+// starve it); Close flushes and stops the writer — graceful drain calls
+// it so a planned restart loses nothing.
+//
+// Capacity and hygiene are optional background layers: Options.MaxBytes
+// enables LRU eviction over a lazily built size index (no startup scan —
+// the index is first built when a capacity check or scrub needs it), and
+// Options.ScrubInterval enables a trickle scrubber that re-validates one
+// entry's envelope per tick, quarantines failures, and — when a refetch
+// callback is installed — restores the entry from a replica peer.
 package store
 
 import (
 	"bufio"
-	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
@@ -42,6 +52,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cgct/internal/faultinject"
 	"cgct/internal/metrics"
@@ -95,44 +106,108 @@ type Options struct {
 	// finding the queue full writes synchronously on the caller's
 	// goroutine instead of blocking behind it or dropping the entry.
 	QueueCapacity int
+	// MaxBytes caps the durable footprint (0 = unlimited). When a write
+	// pushes the store past the cap, least-recently-used entries are
+	// evicted until it fits; the size index behind the cap is built
+	// lazily on first need, so an uncapped store still opens in O(1).
+	MaxBytes int64
+	// ScrubInterval enables the background scrubber (0 = disabled): one
+	// entry per tick is re-read and its envelope re-verified, so silent
+	// bit-rot is found at a trickle rate instead of at serve time.
+	ScrubInterval time.Duration
 	// Logger receives write-failure and quarantine warnings; nil discards.
 	Logger *slog.Logger
 }
 
-// pending is one queued write-behind entry.
+// RefetchFunc restores a quarantined entry's payload from elsewhere
+// (in the cluster: a replica peer). Wired via SetRefetch.
+type RefetchFunc func(key string) ([]byte, error)
+
+// pending is one queued write-behind entry. gen is the Put's global
+// generation: per key, only the highest-generation payload may become
+// durable, whatever order persists actually run in.
 type pending struct {
 	key     string
 	payload []byte
+	gen     uint64
+}
+
+// dirtyEntry is a Put accepted but not yet settled, readable by Get.
+type dirtyEntry struct {
+	payload []byte
+	gen     uint64
+}
+
+// writeState serializes persists for one key: the background writer and
+// a queue-full synchronous Put may both try to write the same key, and
+// without mutual exclusion the loser's rename could land an older
+// payload over a newer one.
+type writeState struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// indexEntry is one durable entry's row in the lazily built size index.
+type indexEntry struct {
+	size int64
+	seq  uint64 // last-access sequence; smallest = least recently used
 }
 
 // Store is a crash-safe content-addressed blob store. Safe for
 // concurrent use.
 type Store struct {
-	dir   string
-	log   *slog.Logger
-	queue chan pending
+	dir      string
+	log      *slog.Logger
+	queue    chan pending
+	maxBytes int64
+	refetch  atomic.Pointer[RefetchFunc]
 
-	mu     sync.Mutex
-	dirty  map[string][]byte // queued but not yet durable: read-your-writes
-	closed bool
-	idle   *sync.Cond // signalled when the queue + dirty map drain
+	mu      sync.Mutex
+	dirty   map[string]dirtyEntry  // accepted but not yet settled: read-your-writes
+	writing map[string]*writeState // keys with a persist in flight
+	gen     uint64                 // last generation handed to a Put
+	closed  bool
+	idle    *sync.Cond // signalled whenever a dirty entry settles
 
-	wg sync.WaitGroup
+	// imu guards the size index, which orders eviction and scrubbing.
+	// Never held together with mu — index maintenance snapshots what it
+	// needs from mu-guarded state first.
+	imu        sync.Mutex
+	index      map[string]*indexEntry
+	indexBytes int64
+	indexBuilt bool
+	accessSeq  uint64
+	scrubKeys  []string // scrub cursor: keys still to visit this cycle
 
-	hits        atomic.Uint64 // Get served (disk or dirty map)
-	misses      atomic.Uint64 // Get found nothing
-	writes      atomic.Uint64 // entries made durable
-	writeErrors atomic.Uint64 // writes that failed (entry lost, logged)
-	corruptions atomic.Uint64 // entries quarantined on read
+	scrubStop chan struct{}
+	wg        sync.WaitGroup
+
+	hits         atomic.Uint64 // Get served (disk or dirty map)
+	misses       atomic.Uint64 // Get found nothing
+	readErrors   atomic.Uint64 // Get failed before validation (IO or injected faults)
+	writes       atomic.Uint64 // entries made durable
+	writeErrors  atomic.Uint64 // writes that failed (entry lost, logged)
+	corruptions  atomic.Uint64 // entries quarantined (read or scrub)
+	evictions    atomic.Uint64 // entries removed by the byte cap
+	scrubbed     atomic.Uint64 // entries re-verified by the scrubber
+	scrubRepairs atomic.Uint64 // quarantined entries restored via refetch
 }
 
 // Stats is a point-in-time snapshot of store behaviour.
 type Stats struct {
 	Hits        uint64 `json:"hits"`
 	Misses      uint64 `json:"misses"`
+	ReadErrors  uint64 `json:"read_errors"`
 	Writes      uint64 `json:"writes"`
 	WriteErrors uint64 `json:"write_errors"`
 	Corruptions uint64 `json:"corruptions"`
+	Evictions   uint64 `json:"evictions"`
+	Scrubbed    uint64 `json:"scrubbed"`
+	// ScrubRepairs counts quarantined entries restored from a replica.
+	ScrubRepairs uint64 `json:"scrub_repairs"`
+	// Bytes is the indexed durable footprint (0 until the size index has
+	// been built — it is lazy).
+	Bytes int64 `json:"bytes"`
 	// Pending counts entries accepted by Put but not yet durable.
 	Pending int `json:"pending"`
 }
@@ -151,10 +226,13 @@ func Open(o Options) (*Store, error) {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
 	s := &Store{
-		dir:   o.Dir,
-		log:   o.Logger,
-		queue: make(chan pending, o.QueueCapacity),
-		dirty: make(map[string][]byte),
+		dir:      o.Dir,
+		log:      o.Logger,
+		queue:    make(chan pending, o.QueueCapacity),
+		maxBytes: o.MaxBytes,
+		dirty:    make(map[string]dirtyEntry),
+		writing:  make(map[string]*writeState),
+		index:    make(map[string]*indexEntry),
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -162,7 +240,23 @@ func Open(o Options) (*Store, error) {
 	s.idle = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.writer()
+	if o.ScrubInterval > 0 {
+		s.scrubStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.scrubber(o.ScrubInterval)
+	}
 	return s, nil
+}
+
+// SetRefetch installs the callback the scrubber uses to restore a
+// quarantined entry from a replica peer. nil (the default) means
+// quarantined entries are simply lost from the store.
+func (s *Store) SetRefetch(fn RefetchFunc) {
+	if fn == nil {
+		s.refetch.Store(nil)
+		return
+	}
+	s.refetch.Store(&fn)
 }
 
 // Dir returns the store's root directory.
@@ -193,11 +287,16 @@ func (s *Store) Put(key string, payload []byte) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	s.dirty[key] = cp
+	// The generation is assigned under mu together with the dirty-map
+	// update, so dirty[key] always holds the highest generation accepted
+	// for the key — the invariant the write-ordering check relies on.
+	s.gen++
+	p := pending{key: key, payload: cp, gen: s.gen}
+	s.dirty[key] = dirtyEntry{payload: cp, gen: p.gen}
 	// Enqueue under mu: Close also sets closed under mu before closing the
 	// channel, so a Put that got this far can never send on a closed queue.
 	select {
-	case s.queue <- pending{key: key, payload: cp}:
+	case s.queue <- p:
 		s.mu.Unlock()
 		return nil
 	default:
@@ -206,7 +305,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	// Queue full: write on the caller's goroutine rather than block
 	// behind the writer or silently drop durability. Close's Flush waits
 	// for the dirty entry this Put registered, so it cannot miss us.
-	s.persist(pending{key: key, payload: cp})
+	s.persist(p)
 	return nil
 }
 
@@ -224,7 +323,26 @@ func (s *Store) writer() {
 // the entry is lost from the store but the in-memory caller already has
 // the value — persistence is a warm-start optimisation, never a
 // correctness dependency.
+//
+// Ordering: same-key persists are serialized by a per-key writeState
+// mutex, and a persist only proceeds while dirty[key] still holds its
+// generation. The background writer and a queue-full synchronous Put can
+// therefore race freely — a superseded payload is skipped, never renamed
+// over a newer one (the newer generation's own persist, still in the
+// queue or on a caller's goroutine, does the write).
 func (s *Store) persist(p pending) {
+	ws := s.acquireWrite(p.key)
+	ws.mu.Lock()
+	s.mu.Lock()
+	cur, ok := s.dirty[p.key]
+	s.mu.Unlock()
+	if !ok || cur.gen != p.gen {
+		// Superseded: a newer Put owns the dirty slot (and will persist
+		// itself), or this generation already settled.
+		ws.mu.Unlock()
+		s.releaseWrite(p.key, ws)
+		return
+	}
 	err := faultinject.Fire(faultinject.PointStoreWrite)
 	if err == nil {
 		err = s.writeEntry(p.key, p.payload)
@@ -236,15 +354,48 @@ func (s *Store) persist(p pending) {
 		s.writes.Add(1)
 	}
 	s.mu.Lock()
-	// Only clear the dirty slot if it still holds this payload: a newer
-	// Put for the same key must stay readable until its own write lands.
-	if cur, ok := s.dirty[p.key]; ok && bytes.Equal(cur, p.payload) {
+	if cur, ok := s.dirty[p.key]; ok && cur.gen == p.gen {
 		delete(s.dirty, p.key)
 	}
-	if len(s.dirty) == 0 {
-		s.idle.Broadcast()
-	}
+	// Every settle wakes Flush: it waits on a drain generation, not on
+	// the map emptying, so sustained Puts cannot starve it.
+	s.idle.Broadcast()
 	s.mu.Unlock()
+	ws.mu.Unlock()
+	s.releaseWrite(p.key, ws)
+	if err == nil {
+		s.noteDurable(p.key, entrySize(p.key, len(p.payload)))
+	}
+}
+
+// acquireWrite returns the key's refcounted persist lock, creating it on
+// first use.
+func (s *Store) acquireWrite(key string) *writeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := s.writing[key]
+	if ws == nil {
+		ws = &writeState{}
+		s.writing[key] = ws
+	}
+	ws.refs++
+	return ws
+}
+
+// releaseWrite drops one reference, removing the lock when idle so the
+// map stays bounded by in-flight writes, not by keys ever written.
+func (s *Store) releaseWrite(key string, ws *writeState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ws.refs--; ws.refs == 0 {
+		delete(s.writing, key)
+	}
+}
+
+// entrySize is the on-disk envelope size for a payload: magic, key
+// length, key, payload length, payload, sha256 footer.
+func entrySize(key string, payloadLen int) int64 {
+	return int64(8 + 2 + len(key) + 8 + payloadLen + sha256.Size)
 }
 
 // writeEntry writes one envelope atomically: temp file in the shard
@@ -321,14 +472,17 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if p, ok := s.dirty[key]; ok {
 		s.mu.Unlock()
 		s.hits.Add(1)
-		cp := make([]byte, len(p))
-		copy(cp, p)
+		cp := make([]byte, len(p.payload))
+		copy(cp, p.payload)
 		return cp, nil
 	}
 	s.mu.Unlock()
 
 	if err := faultinject.Fire(faultinject.PointStoreRead); err != nil {
-		s.misses.Add(1)
+		// A read fault is not a miss: the entry may well exist, we just
+		// could not look. Conflating the two hides real IO trouble inside
+		// the (much larger) cold-key miss count.
+		s.readErrors.Add(1)
 		return nil, fmt.Errorf("store: read: %w", err)
 	}
 	f, err := os.Open(s.entryPath(key))
@@ -337,7 +491,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
-		s.misses.Add(1)
+		s.readErrors.Add(1)
 		return nil, err
 	}
 	payload, rerr := readEntry(f, key)
@@ -348,6 +502,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, rerr)
 	}
 	s.hits.Add(1)
+	s.touch(key, entrySize(key, len(payload)))
 	return payload, nil
 }
 
@@ -452,21 +607,38 @@ func (s *Store) quarantine(key string, cause error) {
 		return
 	}
 	s.log.Warn("store: entry quarantined", "key", shortKey(key), "to", name, "cause", cause.Error())
+	s.indexForget(key)
 }
 
-// Flush blocks until every entry accepted so far is either durable or
-// counted as a write error.
+// Flush blocks until every entry accepted before the call is either
+// durable, counted as a write error, or superseded by a newer same-key
+// Put. The wait is bounded by a drain generation snapshotted on entry —
+// Puts arriving during the flush get higher generations and are not
+// waited for, so a sustained writer cannot starve a flusher.
 func (s *Store) Flush() {
 	s.mu.Lock()
-	for len(s.dirty) > 0 {
+	target := s.gen
+	for s.dirtyAtOrBelowLocked(target) {
 		s.idle.Wait()
 	}
 	s.mu.Unlock()
 }
 
-// Close flushes the write-behind queue and stops the writer. Later Puts
-// return ErrClosed; Get keeps working (the store stays readable so an
-// already-running drain can still serve followers). Idempotent.
+// dirtyAtOrBelowLocked reports whether any unsettled entry predates the
+// flush target. Caller holds s.mu.
+func (s *Store) dirtyAtOrBelowLocked(target uint64) bool {
+	for _, e := range s.dirty {
+		if e.gen <= target {
+			return true
+		}
+	}
+	return false
+}
+
+// Close flushes the write-behind queue and stops the writer and
+// scrubber. Later Puts return ErrClosed; Get keeps working (the store
+// stays readable so an already-running drain can still serve followers).
+// Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -475,6 +647,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.scrubStop != nil {
+		close(s.scrubStop)
+	}
 	s.Flush()
 	close(s.queue)
 	s.wg.Wait()
@@ -486,13 +661,21 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	pending := len(s.dirty)
 	s.mu.Unlock()
+	s.imu.Lock()
+	bytes := s.indexBytes
+	s.imu.Unlock()
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Writes:      s.writes.Load(),
-		WriteErrors: s.writeErrors.Load(),
-		Corruptions: s.corruptions.Load(),
-		Pending:     pending,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		ReadErrors:   s.readErrors.Load(),
+		Writes:       s.writes.Load(),
+		WriteErrors:  s.writeErrors.Load(),
+		Corruptions:  s.corruptions.Load(),
+		Evictions:    s.evictions.Load(),
+		Scrubbed:     s.scrubbed.Load(),
+		ScrubRepairs: s.scrubRepairs.Load(),
+		Bytes:        bytes,
+		Pending:      pending,
 	}
 }
 
@@ -503,12 +686,26 @@ func (s *Store) RegisterMetrics(reg *metrics.Registry, prefix string) {
 		func() float64 { return float64(s.hits.Load()) })
 	reg.CounterFunc(prefix+"_misses_total", "persistent-store reads that found nothing",
 		func() float64 { return float64(s.misses.Load()) })
+	reg.CounterFunc(prefix+"_read_errors_total", "reads failed before validation (IO or injected faults)",
+		func() float64 { return float64(s.readErrors.Load()) })
 	reg.CounterFunc(prefix+"_writes_total", "entries made durable",
 		func() float64 { return float64(s.writes.Load()) })
 	reg.CounterFunc(prefix+"_write_errors_total", "entries lost to failed writes",
 		func() float64 { return float64(s.writeErrors.Load()) })
-	reg.CounterFunc(prefix+"_corruptions_total", "entries quarantined on read",
+	reg.CounterFunc(prefix+"_corruptions_total", "entries quarantined on read or scrub",
 		func() float64 { return float64(s.corruptions.Load()) })
+	reg.CounterFunc(prefix+"_evictions_total", "entries evicted by the byte cap, least recently used first",
+		func() float64 { return float64(s.evictions.Load()) })
+	reg.CounterFunc(prefix+"_scrubbed_total", "entries re-verified by the background scrubber",
+		func() float64 { return float64(s.scrubbed.Load()) })
+	reg.CounterFunc(prefix+"_scrub_repairs_total", "quarantined entries restored from a replica",
+		func() float64 { return float64(s.scrubRepairs.Load()) })
+	reg.GaugeFunc(prefix+"_bytes", "indexed durable footprint in bytes (0 until the lazy index builds)",
+		func() float64 {
+			s.imu.Lock()
+			defer s.imu.Unlock()
+			return float64(s.indexBytes)
+		})
 	reg.GaugeFunc(prefix+"_pending", "entries accepted but not yet durable",
 		func() float64 { return float64(s.Stats().Pending) })
 }

@@ -262,6 +262,9 @@ func TestStoreInjectedReadFaults(t *testing.T) {
 	if st := s.Stats(); st.Corruptions != 0 {
 		t.Fatalf("injected read fault counted as corruption: %+v", st)
 	}
+	if st := s.Stats(); st.ReadErrors != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v; an injected read fault must count as read_errors, not misses", st)
+	}
 }
 
 // TestStoreConcurrentPutGet hammers the store from many goroutines under
